@@ -1,0 +1,429 @@
+package delaystage
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design decisions called out in DESIGN.md.
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure/table bench executes the same code path as the
+// cmd/experiments runner (at a reduced scale so the full suite stays in
+// laptop territory) and reports the experiment's headline number as a
+// custom metric, so `go test -bench` output doubles as a compact
+// reproduction table.
+
+import (
+	"math/rand"
+	"testing"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/core"
+	"delaystage/internal/experiments"
+	"delaystage/internal/scheduler"
+	"delaystage/internal/sim"
+	"delaystage/internal/trace"
+	"delaystage/internal/workload"
+)
+
+// benchCfg is the reduced-scale configuration shared by the figure benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 0.2, Nodes: 15, TraceJobs: 150, Reps: 2, Seed: 1}
+}
+
+func BenchmarkFig2TraceStats(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.ParallelStageShare*100, "%parallel-stages")
+	}
+}
+
+func BenchmarkFig3MakespanFraction(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanFrac, "%mean-parallel-frac")
+	}
+}
+
+func BenchmarkFig4Utilization(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5MotivationALS(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.JCT, "JCT-s")
+	}
+}
+
+func BenchmarkFig6DelayedALS(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(r.StockJCT-r.DelayedJCT)/r.StockJCT, "%JCT-gain")
+	}
+}
+
+func BenchmarkFig10JCTComparison(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min, max := r.Rows[0].DelayGainP, r.Rows[0].DelayGainP
+		for _, row := range r.Rows {
+			if row.DelayGainP < min {
+				min = row.DelayGainP
+			}
+			if row.DelayGainP > max {
+				max = row.DelayGainP
+			}
+		}
+		b.ReportMetric(min, "%gain-min")
+		b.ReportMetric(max, "%gain-max")
+	}
+}
+
+func BenchmarkFig11Breakdowns(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12UtilSeries(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Occupancy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14TraceReplay(b *testing.B) {
+	cfg := benchCfg()
+	cfg.TraceJobs = 60
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fuxi, def := r.Rows[0].MeanJCT, r.Rows[2].MeanJCT
+		b.ReportMetric(100*(fuxi-def)/fuxi, "%mean-JCT-gain-vs-Fuxi")
+	}
+}
+
+func BenchmarkFig15Alg1Scaling(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[len(r.Points)-1].ModelMs, "ms-at-186-stages")
+	}
+}
+
+func BenchmarkFig16Breakdowns(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Triangle.LongestPathGainP, "%tri-region-gain")
+	}
+}
+
+func BenchmarkFig17UtilSeries(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig17(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3WorkerUsage(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4ReplayUtilization(b *testing.B) {
+	cfg := benchCfg()
+	cfg.TraceJobs = 60
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[2].AvgCPUUtil*100, "%default-CPU-util")
+	}
+}
+
+func BenchmarkAppendixA2ModelAccuracy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AppendixA2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MaxE*100, "%max-error")
+	}
+}
+
+func BenchmarkOverheadAlg1AndProfiling(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Overhead(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md "Key design decisions") ---
+
+// BenchmarkAlg1Evaluators contrasts the what-if fluid-simulation evaluator
+// with the closed-form model evaluator (design decision 4) on the same job.
+func BenchmarkAlg1Evaluators(b *testing.B) {
+	c := cluster.NewM4LargeCluster(15)
+	job := workload.TriangleCount(c, 0.2)
+	b.Run("sim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compute(core.Options{Cluster: c}, job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compute(core.Options{Cluster: c, UseModelEvaluator: true}, job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAlg1Orders contrasts the three execution-path orders (Sec. 5.3).
+func BenchmarkAlg1Orders(b *testing.B) {
+	c := cluster.NewM4LargeCluster(15)
+	job := workload.TriangleCount(c, 0.2)
+	for _, order := range []core.Order{core.Descending, core.Ascending, core.Random} {
+		b.Run(order.String(), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.Compute(core.Options{Cluster: c, Order: order, Seed: 1}, job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gain = 100 * (s.StockMakespan - s.Makespan) / s.StockMakespan
+			}
+			b.ReportMetric(gain, "%makespan-gain")
+		})
+	}
+}
+
+// BenchmarkRefinePasses ablates the refinement extension (design decision
+// in core.Options.RefinePasses): 0 passes is the paper-verbatim sweep.
+func BenchmarkRefinePasses(b *testing.B) {
+	c := cluster.NewM4LargeCluster(15)
+	job := workload.CosineSimilarity(c, 0.2)
+	for _, passes := range []int{-1, 1, 2} {
+		name := map[int]string{-1: "verbatim", 1: "refine1", 2: "refine2"}[passes]
+		b.Run(name, func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.Compute(core.Options{Cluster: c, RefinePasses: passes}, job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gain = 100 * (s.StockMakespan - s.Makespan) / s.StockMakespan
+			}
+			b.ReportMetric(gain, "%makespan-gain")
+		})
+	}
+}
+
+// BenchmarkContentionOverhead sweeps the simulator's sharing-efficiency
+// loss α (design decision 1 substitute parameter): at α=0 the fluid model
+// is work-conserving and DelayStage's gain shrinks; the default 0.22
+// reproduces the paper's gain band.
+func BenchmarkContentionOverhead(b *testing.B) {
+	c := cluster.NewM4LargeCluster(15)
+	job := workload.LDA(c, 0.2)
+	sched, err := core.Compute(core.Options{Cluster: c}, job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alpha := range []float64{-1, 0.12, 0.22, 0.35} {
+		name := map[float64]string{-1: "alpha0", 0.12: "alpha0.12", 0.22: "alpha0.22", 0.35: "alpha0.35"}[alpha]
+		b.Run(name, func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				opts := sim.Options{Cluster: c, TrackNode: -1, ContentionOverhead: alpha}
+				stock, err := sim.Run(opts, []sim.JobRun{{Job: job}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delayed, err := sim.Run(opts, []sim.JobRun{{Job: job, Delays: sched.Delays}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gain = 100 * (stock.JCT(0) - delayed.JCT(0)) / stock.JCT(0)
+			}
+			b.ReportMetric(gain, "%JCT-gain")
+		})
+	}
+}
+
+// BenchmarkSimulatorEngine measures the raw fluid-engine throughput on the
+// four paper workloads (events/op via the reported metric).
+func BenchmarkSimulatorEngine(b *testing.B) {
+	c := cluster.NewM4LargeCluster(30)
+	for _, name := range []string{"ConnectedComponents", "CosineSimilarity", "LDA", "TriangleCount"} {
+		job := workload.PaperWorkloads(c, 1.0)[name]
+		b.Run(name, func(b *testing.B) {
+			var events int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: job}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// BenchmarkStrategies measures planning+simulation for each scheduling
+// strategy on CosineSimilarity.
+func BenchmarkStrategies(b *testing.B) {
+	c := cluster.NewM4LargeCluster(15)
+	job := workload.CosineSimilarity(c, 0.2)
+	for _, s := range []scheduler.Strategy{scheduler.Spark{}, scheduler.AggShuffle{}, scheduler.Fuxi{}, scheduler.DelayStage{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scheduler.RunJob(c, job, s, sim.Options{TrackNode: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceGenerate measures synthetic-trace generation throughput.
+func BenchmarkTraceGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.Generate(trace.GenConfig{Jobs: 500, Seed: int64(i)})
+		if len(tr.Jobs) != 500 {
+			b.Fatal("short trace")
+		}
+	}
+}
+
+// BenchmarkCoarseVsPerNode contrasts the two simulator granularities
+// (design decision: trace replays run coarse).
+func BenchmarkCoarseVsPerNode(b *testing.B) {
+	c := cluster.NewM4LargeCluster(30)
+	job := workload.LDA(c, 0.5)
+	b.Run("per-node-30", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: job}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	coarse := sim.Coarsen(c)
+	b.Run("coarse-1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(sim.Options{Cluster: coarse, TrackNode: -1}, []sim.JobRun{{Job: job}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRandomOrderSeeds verifies random-order stability cost across
+// seeds (used by the Fig. 14 replay).
+func BenchmarkRandomOrderSeeds(b *testing.B) {
+	c := cluster.NewM4LargeCluster(10)
+	rng := rand.New(rand.NewSource(1))
+	job := workload.RandomJob("bench", c, 20, rng)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(core.Options{Cluster: c, Order: core.Random, Seed: int64(i), MaxCandidates: 10}, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeoExtension measures the Sec. 6 geo-distributed extension
+// (topology sweep + Alg. 1 against the geo simulator).
+func BenchmarkGeoExtension(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.GeoExtension(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].GainP, "%gain-widest-WAN")
+	}
+}
+
+// BenchmarkOnlineExtension measures the Sec. 6 multi-job online planner.
+func BenchmarkOnlineExtension(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.OnlineExtension(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, online := r.Rows[0].MeanJCT, r.Rows[2].MeanJCT
+		b.ReportMetric(100*(naive-online)/naive, "%mean-JCT-gain")
+	}
+}
+
+// BenchmarkSensitivity runs the parameter sweeps.
+func BenchmarkSensitivity(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sensitivity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate and prints them in paper
+// order. See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments [-scale f] [-nodes n] [-trace-jobs n] [-reps n] [-seed n] [-only fig10,table3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"delaystage/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
+	nodes := flag.Int("nodes", 30, "prototype cluster size")
+	traceJobs := flag.Int("trace-jobs", 600, "jobs in trace-driven experiments")
+	reps := flag.Int("reps", 5, "repetitions for error bars")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "comma-separated subset (fig2..fig17, table3, table4, a2, overhead, geo, online, sensitivity)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale: *scale, Nodes: *nodes, TraceJobs: *traceJobs,
+		Reps: *reps, Seed: *seed, W: os.Stdout,
+	}
+	if *only == "" {
+		if err := experiments.All(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runners := map[string]func() error{
+		"fig2":        func() error { _, err := experiments.Fig2(cfg); return err },
+		"fig3":        func() error { _, err := experiments.Fig3(cfg); return err },
+		"fig4":        func() error { _, err := experiments.Fig4(cfg); return err },
+		"fig5":        func() error { _, err := experiments.Fig5(cfg); return err },
+		"fig6":        func() error { _, err := experiments.Fig6(cfg); return err },
+		"fig10":       func() error { _, err := experiments.Fig10(cfg); return err },
+		"fig11":       func() error { _, err := experiments.Fig11(cfg); return err },
+		"fig12":       func() error { _, err := experiments.Fig12(cfg); return err },
+		"fig13":       func() error { _, err := experiments.Fig13(cfg); return err },
+		"fig14":       func() error { _, err := experiments.Fig14(cfg); return err },
+		"fig15":       func() error { _, err := experiments.Fig15(cfg); return err },
+		"fig16":       func() error { _, err := experiments.Fig16(cfg); return err },
+		"fig17":       func() error { _, err := experiments.Fig17(cfg); return err },
+		"table3":      func() error { _, err := experiments.Table3(cfg); return err },
+		"table4":      func() error { _, err := experiments.Table4(cfg); return err },
+		"a2":          func() error { _, err := experiments.AppendixA2(cfg); return err },
+		"overhead":    func() error { _, err := experiments.Overhead(cfg); return err },
+		"geo":         func() error { _, err := experiments.GeoExtension(cfg); return err },
+		"online":      func() error { _, err := experiments.OnlineExtension(cfg); return err },
+		"sensitivity": func() error { _, err := experiments.Sensitivity(cfg); return err },
+	}
+	for _, name := range strings.Split(*only, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

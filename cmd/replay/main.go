@@ -1,0 +1,105 @@
+// Command replay reads a batch_task CSV trace (real or from cmd/tracegen)
+// and replays every job under Fuxi and the three DelayStage variants on
+// per-job cluster slices — the Sec. 5.3 simulation (Fig. 14 / Table 4) on
+// an arbitrary trace file.
+//
+// Usage:
+//
+//	tracegen -jobs 300 | replay
+//	replay -f trace.csv [-slice-machines 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/core"
+	"delaystage/internal/dag"
+	"delaystage/internal/metrics"
+	"delaystage/internal/sim"
+	"delaystage/internal/trace"
+)
+
+func main() {
+	file := flag.String("f", "", "trace file (default: stdin)")
+	sliceMachines := flag.Int("slice-machines", 2, "machines in each job's even cluster slice")
+	seed := flag.Int64("seed", 1, "seed for slice bandwidth draws and the random order")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(tr.Jobs) == 0 {
+		log.Fatal("replay: empty trace")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	slices := make([]*cluster.Cluster, len(tr.Jobs))
+	for i := range tr.Jobs {
+		slices[i] = sim.Coarsen(cluster.NewTraceCluster(*sliceMachines, 4, rng))
+	}
+
+	type variant struct {
+		name  string
+		order core.Order
+		plain bool
+	}
+	for _, v := range []variant{
+		{name: "Fuxi", plain: true},
+		{name: "random DelayStage", order: core.Random},
+		{name: "default DelayStage", order: core.Descending},
+		{name: "ascending DelayStage", order: core.Ascending},
+	} {
+		var jcts []float64
+		var cpuInt, netInt, timeInt float64
+		for i := range tr.Jobs {
+			wl, err := tr.Jobs[i].Workload(slices[i], trace.DefaultSplit, nil)
+			if err != nil {
+				log.Fatalf("job %s: %v", tr.Jobs[i].Name, err)
+			}
+			var delays map[dag.StageID]float64
+			if !v.plain {
+				mc := 10
+				if wl.Graph.Len() > 60 {
+					mc = 6
+				}
+				sched, err := core.Compute(core.Options{
+					Cluster: slices[i], Order: v.order, Seed: *seed + int64(i), MaxCandidates: mc,
+				}, wl)
+				if err != nil {
+					log.Fatal(err)
+				}
+				delays = sched.Delays
+			}
+			res, err := sim.Run(sim.Options{Cluster: slices[i], TrackNode: -1},
+				[]sim.JobRun{{Job: wl, Delays: delays}})
+			if err != nil {
+				log.Fatal(err)
+			}
+			jct := res.JCT(0)
+			jcts = append(jcts, jct)
+			cpuInt += res.AvgCPUUtil * jct
+			netInt += res.AvgNetUtil * jct
+			timeInt += jct
+		}
+		cdf := metrics.NewCDF(jcts)
+		fmt.Printf("%-22s mean %8.0fs  P50 %8.0fs  P90 %8.0fs  P99 %8.0fs  CPU %5.1f%%  net %5.1f%%\n",
+			v.name, cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.99),
+			cpuInt/timeInt*100, netInt/timeInt*100)
+	}
+}

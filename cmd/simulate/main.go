@@ -1,0 +1,110 @@
+// Command simulate runs one workload under one scheduling strategy on the
+// fluid cluster simulator and prints the stage timeline (Gantt), the
+// tracked worker's utilization summary, and the JCT.
+//
+// Usage:
+//
+//	simulate [-workload TriangleCount] [-strategy delaystage|spark|aggshuffle|fuxi] [-nodes 30] [-scale 1.0]
+//	simulate -spec job.json -strategy delaystage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/core"
+	"delaystage/internal/jobspec"
+	"delaystage/internal/metrics"
+	"delaystage/internal/scheduler"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "TriangleCount", "ALS | ConnectedComponents | CosineSimilarity | LDA | TriangleCount")
+	stratName := flag.String("strategy", "delaystage", "spark | aggshuffle | fuxi | delaystage | delaystage-ascending | delaystage-random")
+	nodes := flag.Int("nodes", 30, "cluster size")
+	scale := flag.Float64("scale", 1.0, "workload duration scale")
+	specPath := flag.String("spec", "", "JSON job spec (overrides -workload)")
+	flag.Parse()
+
+	c := cluster.NewM4LargeCluster(*nodes)
+	var job *workload.Job
+	switch {
+	case *specPath != "":
+		spec, err := jobspec.Load(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		j, err := spec.Job(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job = j
+	case *name == "ALS":
+		job = workload.ALS(c, *scale)
+	default:
+		job = workload.PaperWorkloads(c, *scale)[*name]
+	}
+	if job == nil {
+		log.Fatalf("unknown workload %q", *name)
+	}
+
+	var strat scheduler.Strategy
+	switch *stratName {
+	case "spark":
+		strat = scheduler.Spark{}
+	case "aggshuffle":
+		strat = scheduler.AggShuffle{}
+	case "fuxi":
+		strat = scheduler.Fuxi{}
+	case "delaystage":
+		strat = scheduler.DelayStage{}
+	case "delaystage-ascending":
+		strat = scheduler.DelayStage{Order: core.Ascending}
+	case "delaystage-random":
+		strat = scheduler.DelayStage{Order: core.Random}
+	default:
+		log.Fatalf("unknown strategy %q", *stratName)
+	}
+
+	plan, err := strat.Plan(c, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sim.Options{Cluster: c, TrackNode: 0, AggShuffle: plan.AggShuffle},
+		[]sim.JobRun{{Job: job, Delays: plan.Delays}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s under %s on %d nodes\n\n", job.Name, strat.Name(), *nodes)
+	var bars []metrics.GanttBar
+	for _, id := range job.Graph.Stages() {
+		tl := res.Timeline(0, id)
+		bars = append(bars, metrics.GanttBar{
+			Label: fmt.Sprintf("Stage %d", id),
+			Start: tl.Start, Split: tl.ReadEnd, End: tl.End,
+		})
+	}
+	fmt.Print(metrics.RenderGantt(bars, 72))
+
+	toStep := func(s sim.Series) []metrics.StepPoint {
+		out := make([]metrics.StepPoint, len(s))
+		for i, p := range s {
+			out[i] = metrics.StepPoint{T: p.T, V: p.V}
+		}
+		return out
+	}
+	netMean, netStd := metrics.TimeWeightedMeanStd(toStep(res.Node.NetRate), 0, res.JCT(0))
+	cpuMean, cpuStd := metrics.TimeWeightedMeanStd(toStep(res.Node.CPUBusy), 0, res.JCT(0))
+	fmt.Printf("\nJCT %.1fs   worker-0 net %.1f (±%.1f) MB/s   CPU %.1f%% (±%.1f)\n",
+		res.JCT(0), netMean/cluster.MB, netStd/cluster.MB, cpuMean*100, cpuStd*100)
+	fmt.Printf("cluster averages: CPU %.1f%%  net %.1f%%  disk %.1f%%  (%d events)\n",
+		res.AvgCPUUtil*100, res.AvgNetUtil*100, res.AvgDiskUtil*100, res.Events)
+	if len(plan.Delays) > 0 {
+		fmt.Printf("delays: %v\n", plan.Delays)
+	}
+}

@@ -1,0 +1,46 @@
+// Command tracegen emits a synthetic Alibaba-v2018-style batch_task CSV
+// trace, calibrated to the statistics the paper reports (Sec. 2.1). The
+// output round-trips through cmd/traceanalyze and cmd/replay, and a real
+// batch_task.csv can be substituted for it anywhere.
+//
+// Usage:
+//
+//	tracegen [-jobs 1000] [-seed 1] [-span-hours 192] > batch_task.csv
+//	tracegen -usage [-machines 100] [-span-hours 192] > machine_usage.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"delaystage/internal/trace"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 1000, "number of jobs")
+	seed := flag.Int64("seed", 1, "generator seed")
+	spanHours := flag.Float64("span-hours", 192, "arrival window (the trace spans 8 days)")
+	usage := flag.Bool("usage", false, "emit machine_usage.csv (Fig. 4) instead of batch_task.csv")
+	machines := flag.Int("machines", 100, "machine count for -usage")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *usage {
+		u := trace.GenerateUsage(*machines, *spanHours*3600, 300, *seed)
+		if err := u.WriteUsage(w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	tr := trace.Generate(trace.GenConfig{
+		Jobs: *jobs,
+		Seed: *seed,
+		Span: *spanHours * 3600,
+	})
+	if err := tr.WriteCSV(w); err != nil {
+		log.Fatal(err)
+	}
+}

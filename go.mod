@@ -1,0 +1,3 @@
+module delaystage
+
+go 1.22

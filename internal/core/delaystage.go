@@ -1,0 +1,340 @@
+// Package core implements the paper's contribution: the DelayStage
+// stage-delay scheduling strategy (Alg. 1). Given a job's DAG and resource
+// profiles, it computes the set X of delayed submission times for the
+// parallel stages that greedily minimizes the makespan of the parallel
+// region, enabling CPU / network / disk interleaving across stages.
+//
+// The delay semantics match the Spark prototype (Sec. 4.2): x_k is extra
+// time the scheduler sleeps after stage k becomes ready (all parents
+// complete) before submitting it, so the dependency constraint (6) holds
+// by construction.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+	"delaystage/internal/perfmodel"
+	"delaystage/internal/workload"
+)
+
+// Order selects the execution-path scheduling sequence (Sec. 4.1 / 5.3).
+type Order int
+
+const (
+	// Descending schedules long-running paths first — the DelayStage
+	// default, which the paper finds best (Fig. 14).
+	Descending Order = iota
+	// Ascending schedules short paths first ("ascending DelayStage").
+	Ascending
+	// Random shuffles the path order ("random DelayStage").
+	Random
+)
+
+func (o Order) String() string {
+	switch o {
+	case Descending:
+		return "descending"
+	case Ascending:
+		return "ascending"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Options configures Alg. 1.
+type Options struct {
+	Cluster *cluster.Cluster
+	Order   Order
+	// Seed drives the Random order shuffle (ignored otherwise).
+	Seed int64
+	// SlotSeconds is the granularity of the delayed-time scan (the paper
+	// slots time at one second). Zero means 1 s.
+	SlotSeconds float64
+	// MaxCandidates caps the number of candidate delays evaluated per
+	// stage; when the scan range divided by SlotSeconds exceeds it, the
+	// slot is widened adaptively. Zero means 64.
+	MaxCandidates int
+	// UseModelEvaluator switches the candidate evaluation from the
+	// what-if fluid simulation (default; faithful to Alg. 1 lines 12–14)
+	// to the closed-form interference model (much faster; used for
+	// trace-scale jobs).
+	UseModelEvaluator bool
+	// RefinePasses re-scans every stage after the first greedy sweep,
+	// fixing the staleness of one-shot greedy decisions (a delay chosen
+	// early can become useless — or harmful — once later stages get
+	// theirs). An extension over the paper's single sweep; set -1 to
+	// disable and run Alg. 1 verbatim. Zero means 2 passes.
+	RefinePasses int
+}
+
+// Schedule is Alg. 1's output.
+type Schedule struct {
+	// Delays is X: per-stage extra delay (seconds after ready). Stages
+	// absent from the map are submitted immediately.
+	Delays map[dag.StageID]float64
+	// Makespan is the predicted makespan of the parallel region under X.
+	Makespan float64
+	// StockMakespan is the predicted makespan with all-zero delays, for
+	// reporting the expected gain.
+	StockMakespan float64
+	// K is the parallel-stage set, Paths its execution-path decomposition
+	// in the order Alg. 1 processed it.
+	K     []dag.StageID
+	Paths []dag.Path
+	// ComputeTime is how long Alg. 1 itself took (Fig. 15 / Sec. 5.4).
+	ComputeTime time.Duration
+	// Evaluations counts candidate makespan evaluations performed.
+	Evaluations int
+}
+
+// Evaluator predicts the completion time of the parallel region under a
+// given delay assignment, considering only the stages in the active set —
+// Alg. 1 schedules path by path, and a stage's candidates are judged
+// against the paths scheduled so far (plus its own), not against paths it
+// has not reached yet. Implementations: simEvaluator (what-if fluid
+// simulation) and modelEvaluator (closed-form interference model).
+type Evaluator interface {
+	// SetActive restricts evaluation to the given stages (nil = all).
+	SetActive(active map[dag.StageID]bool) error
+	Makespan(delays map[dag.StageID]float64) (float64, error)
+}
+
+// Compute runs Alg. 1 on the job and returns the delay schedule X.
+func Compute(opt Options, job *workload.Job) (*Schedule, error) {
+	start := time.Now()
+	if opt.Cluster == nil {
+		return nil, fmt.Errorf("core: nil cluster")
+	}
+	if err := opt.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if job == nil {
+		return nil, fmt.Errorf("core: nil job")
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.SlotSeconds <= 0 {
+		opt.SlotSeconds = 1
+	}
+	if opt.MaxCandidates <= 0 {
+		opt.MaxCandidates = 64
+	}
+
+	reach, err := dag.NewReachability(job.Graph)
+	if err != nil {
+		return nil, err
+	}
+	model, err := perfmodel.New(opt.Cluster)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lines 1–3: parallel set, execution paths, solo times t̂_k, initial
+	// path times and makespan.
+	solo := model.SoloTimes(job)
+	weight := func(id dag.StageID) float64 { return solo[id] }
+	k := dag.ParallelStages(job.Graph, reach)
+	paths := dag.ExecutionPaths(job.Graph, reach, weight)
+
+	sched := &Schedule{Delays: map[dag.StageID]float64{}, K: k}
+	if len(k) == 0 {
+		// Nothing to delay: the whole job is one sequential chain.
+		sched.ComputeTime = time.Since(start)
+		return sched, nil
+	}
+
+	// Line 4: order the paths.
+	switch opt.Order {
+	case Descending:
+		dag.SortPathsDescending(paths, weight)
+	case Ascending:
+		dag.SortPathsAscending(paths, weight)
+	case Random:
+		rng := rand.New(rand.NewSource(opt.Seed))
+		rng.Shuffle(len(paths), func(i, j int) { paths[i], paths[j] = paths[j], paths[i] })
+	default:
+		return nil, fmt.Errorf("core: unknown order %d", opt.Order)
+	}
+	sched.Paths = paths
+
+	var ev Evaluator
+	if opt.UseModelEvaluator {
+		ev = newModelEvaluator(model, job, reach, k, solo)
+	} else {
+		ev = newSimEvaluator(opt.Cluster, job, k)
+	}
+
+	// Initial makespan estimate with no delays: Tmax (line 3).
+	tmax, err := ev.Makespan(nil)
+	if err != nil {
+		return nil, err
+	}
+	sched.StockMakespan = tmax
+	sched.Evaluations++
+
+	if opt.RefinePasses == 0 {
+		opt.RefinePasses = 2
+	} else if opt.RefinePasses < 0 {
+		opt.RefinePasses = 0
+	}
+
+	// First sweep (Alg. 1 lines 5–21): the active set grows path by path,
+	// so the longest path is scheduled against only itself (and keeps its
+	// stages undelayed), and each later path interleaves around the paths
+	// already scheduled.
+	active := map[dag.StageID]bool{}
+	scheduled := map[dag.StageID]bool{}
+	for _, p := range paths {
+		for _, kid := range p.Stages {
+			active[kid] = true
+		}
+		if err := ev.SetActive(active); err != nil {
+			return nil, err
+		}
+		for _, kid := range p.Stages {
+			if scheduled[kid] { // lines 7–9: already handled in a former path
+				continue
+			}
+			scheduled[kid] = true
+			if err := e2scan(ev, sched, solo, kid, tmax, opt, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Refinement passes (extension, see Options.RefinePasses): re-scan
+	// every stage against the full set, discarding delays that went stale.
+	if err := ev.SetActive(nil); err != nil {
+		return nil, err
+	}
+	best, err := ev.Makespan(sched.Delays)
+	if err != nil {
+		return nil, err
+	}
+	sched.Evaluations++
+	for pass := 0; pass < opt.RefinePasses; pass++ {
+		seen := map[dag.StageID]bool{}
+		for _, p := range paths {
+			for _, kid := range p.Stages {
+				if seen[kid] {
+					continue
+				}
+				seen[kid] = true
+				if err := e2scan(ev, sched, solo, kid, tmax, opt, &best); err != nil {
+					return nil, err
+				}
+			}
+		}
+		nb, err := ev.Makespan(sched.Delays)
+		if err != nil {
+			return nil, err
+		}
+		sched.Evaluations++
+		if nb >= best-1e-9 {
+			best = nb
+			break
+		}
+		best = nb
+	}
+	// Never-worse guard: x = 0 is always feasible (stock scheduling), and
+	// the greedy sweep judges early stages against restricted stage sets,
+	// which can land coordinate descent in a basin worse than stock.
+	if best > tmax {
+		sched.Delays = map[dag.StageID]float64{}
+		best = tmax
+	}
+	sched.Makespan = best
+	sched.ComputeTime = time.Since(start)
+	return sched, nil
+}
+
+// e2scan scans the delay candidates of one stage and stores the argmin in
+// sched.Delays. When globalBest is nil the comparison baseline is the
+// active-set makespan with the stage's incumbent delay (first sweep);
+// otherwise globalBest is used and updated (refinement).
+func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
+	kid dag.StageID, tmax float64, opt Options, globalBest *float64) error {
+	incumbent, had := sched.Delays[kid]
+	if !had {
+		sched.Delays[kid] = 0
+	}
+	base, err := ev.Makespan(sched.Delays)
+	if err != nil {
+		return err
+	}
+	sched.Evaluations++
+	best := base
+	if globalBest != nil {
+		best = *globalBest
+	}
+	// Line 10: delay-after-ready semantics make the dependency lower
+	// bound 0 by construction; the upper bound is the job-level stock
+	// makespan minus the stage's own solo time (delaying past that point
+	// cannot shorten any path it is on).
+	upper := tmax - solo[kid]
+	if upper < 0 {
+		upper = 0
+	}
+	bestDelay := incumbent
+	for _, x := range candidates(upper, opt.SlotSeconds, opt.MaxCandidates) {
+		if x == incumbent && had {
+			continue // already measured as base
+		}
+		sched.Delays[kid] = x
+		mk, err := ev.Makespan(sched.Delays)
+		if err != nil {
+			return err
+		}
+		sched.Evaluations++
+		if mk < best-1e-9 {
+			best = mk
+			bestDelay = x
+		}
+	}
+	if globalBest != nil && best < *globalBest {
+		*globalBest = best
+	}
+	if bestDelay == 0 {
+		delete(sched.Delays, kid)
+	} else {
+		sched.Delays[kid] = bestDelay
+	}
+	return nil
+}
+
+// candidates returns the slotted delay candidates in [0, upper]. The slot
+// widens adaptively when upper/slot exceeds maxN, bounding Alg. 1's cost on
+// very long makespans.
+func candidates(upper, slot float64, maxN int) []float64 {
+	if upper <= 0 {
+		return []float64{0}
+	}
+	n := int(math.Floor(upper/slot)) + 1
+	if n > maxN {
+		slot = upper / float64(maxN-1)
+		n = maxN
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)*slot)
+	}
+	return out
+}
+
+// sortedIDs is a helper for deterministic map iteration.
+func sortedIDs(m map[dag.StageID]float64) []dag.StageID {
+	ids := make([]dag.StageID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

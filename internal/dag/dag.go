@@ -1,0 +1,193 @@
+// Package dag models the stage dependency graph of a DAG-style data
+// analytics job (Spark, Flink, MapReduce chains, ...) and provides the
+// graph analyses that DelayStage (ICPP 2019) builds on: topological
+// sorting, parallel-stage detection, and execution-path decomposition.
+//
+// A Stage is the unit of scheduling: a set of identical tasks separated
+// from its parents by a shuffle. The Graph records the "child depends on
+// parent" edges; it must be acyclic.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// StageID identifies a stage within one job's graph. IDs are assigned by
+// the caller and must be unique within a Graph; they carry no ordering
+// semantics beyond identity.
+type StageID int
+
+// Stage is one node of the job DAG.
+type Stage struct {
+	ID      StageID
+	Name    string
+	Parents []StageID // stages whose full output this stage shuffle-reads
+}
+
+// Graph is a directed acyclic graph of stages. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	stages   map[StageID]*Stage
+	children map[StageID][]StageID
+	order    []StageID // insertion order, for deterministic iteration
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		stages:   make(map[StageID]*Stage),
+		children: make(map[StageID][]StageID),
+	}
+}
+
+// ErrDuplicateStage is returned by AddStage when the stage ID is taken.
+var ErrDuplicateStage = errors.New("dag: duplicate stage id")
+
+// ErrUnknownStage is returned when an operation references a stage ID that
+// is not in the graph.
+var ErrUnknownStage = errors.New("dag: unknown stage id")
+
+// ErrCycle is returned by Validate and TopoSort when the graph contains a
+// dependency cycle.
+var ErrCycle = errors.New("dag: dependency cycle")
+
+// AddStage inserts a stage. Parent IDs may reference stages added later;
+// Validate checks that all of them exist.
+func (g *Graph) AddStage(s Stage) error {
+	if _, ok := g.stages[s.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateStage, s.ID)
+	}
+	cp := s
+	cp.Parents = append([]StageID(nil), s.Parents...)
+	g.stages[s.ID] = &cp
+	g.order = append(g.order, s.ID)
+	return nil
+}
+
+// MustAdd is AddStage that panics on error; convenient in workload builders
+// where IDs are static.
+func (g *Graph) MustAdd(s Stage) {
+	if err := g.AddStage(s); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of stages.
+func (g *Graph) Len() int { return len(g.stages) }
+
+// Stage returns the stage with the given ID, or nil if absent.
+func (g *Graph) Stage(id StageID) *Stage { return g.stages[id] }
+
+// Stages returns all stage IDs in insertion order.
+func (g *Graph) Stages() []StageID {
+	return append([]StageID(nil), g.order...)
+}
+
+// Parents returns the parent IDs of id (nil if unknown).
+func (g *Graph) Parents(id StageID) []StageID {
+	s := g.stages[id]
+	if s == nil {
+		return nil
+	}
+	return append([]StageID(nil), s.Parents...)
+}
+
+// Children returns the IDs of stages that list id as a parent. Validate
+// must have been called for the child index to be populated.
+func (g *Graph) Children(id StageID) []StageID {
+	return append([]StageID(nil), g.children[id]...)
+}
+
+// Validate checks referential integrity and acyclicity and (re)builds the
+// child index. It must be called after the last AddStage and before any
+// analysis method.
+func (g *Graph) Validate() error {
+	g.children = make(map[StageID][]StageID, len(g.stages))
+	for _, id := range g.order {
+		for _, p := range g.stages[id].Parents {
+			if _, ok := g.stages[p]; !ok {
+				return fmt.Errorf("%w: stage %d references parent %d", ErrUnknownStage, id, p)
+			}
+			g.children[p] = append(g.children[p], id)
+		}
+	}
+	_, err := g.TopoSort()
+	return err
+}
+
+// TopoSort returns the stage IDs in a topological order (parents before
+// children). Ties are broken by insertion order so the result is
+// deterministic. Returns ErrCycle if the graph is cyclic.
+func (g *Graph) TopoSort() ([]StageID, error) {
+	indeg := make(map[StageID]int, len(g.stages))
+	for _, id := range g.order {
+		indeg[id] = len(g.stages[id].Parents)
+	}
+	// Ready queue kept in insertion order for determinism.
+	var ready []StageID
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	out := make([]StageID, 0, len(g.stages))
+	pos := make(map[StageID]int, len(g.stages))
+	for i, id := range g.order {
+		pos[id] = i
+	}
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		next := g.children[id]
+		var newly []StageID
+		for _, c := range next {
+			indeg[c]--
+			if indeg[c] == 0 {
+				newly = append(newly, c)
+			}
+		}
+		sort.Slice(newly, func(a, b int) bool { return pos[newly[a]] < pos[newly[b]] })
+		ready = append(ready, newly...)
+	}
+	if len(out) != len(g.stages) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// Roots returns stages with no parents, in insertion order.
+func (g *Graph) Roots() []StageID {
+	var out []StageID
+	for _, id := range g.order {
+		if len(g.stages[id].Parents) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leaves returns stages with no children, in insertion order.
+func (g *Graph) Leaves() []StageID {
+	var out []StageID
+	for _, id := range g.order {
+		if len(g.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph (child index included if built).
+func (g *Graph) Clone() *Graph {
+	ng := New()
+	for _, id := range g.order {
+		ng.MustAdd(*g.stages[id])
+	}
+	for id, cs := range g.children {
+		ng.children[id] = append([]StageID(nil), cs...)
+	}
+	return ng
+}

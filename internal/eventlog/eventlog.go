@@ -1,0 +1,280 @@
+// Package eventlog parses Apache Spark event logs (the JSON-lines files
+// the paper's prototype mines for its model parameters, Sec. 4.2) and
+// converts them into simulator workloads: the job DAG from the stages'
+// Parent IDs, shuffle input/output sizes from the stage-aggregated task
+// metrics, the per-executor processing rate R_k from executor run times,
+// and task skew from the spread of task durations.
+//
+// Only the event types the DelayStage pipeline needs are interpreted —
+// SparkListenerApplicationStart, SparkListenerStageSubmitted,
+// SparkListenerStageCompleted and SparkListenerTaskEnd — everything else
+// is skipped, so real logs parse unchanged. Writer emits the same subset,
+// which is what the tests and the synthetic-profiling demo use.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+	"delaystage/internal/workload"
+)
+
+// StageRecord aggregates one stage's events.
+type StageRecord struct {
+	ID        int
+	Name      string
+	Parents   []int
+	NumTasks  int
+	Submitted float64 // seconds since epoch (fractional)
+	Completed float64
+
+	// Task-metric aggregates.
+	InputBytes        int64 // HDFS/file input
+	ShuffleReadBytes  int64
+	ShuffleWriteBytes int64
+	OutputBytes       int64
+	ExecutorRunTimeMs int64   // summed over tasks
+	TaskDurationsMs   []int64 // per finished task
+}
+
+// Duration returns the stage wall time in seconds.
+func (s *StageRecord) Duration() float64 { return s.Completed - s.Submitted }
+
+// ReadBytes returns the bytes the stage pulled over the network or from
+// storage (shuffle read preferred, input bytes as the root-stage fallback).
+func (s *StageRecord) ReadBytes() int64 {
+	if s.ShuffleReadBytes > 0 {
+		return s.ShuffleReadBytes
+	}
+	return s.InputBytes
+}
+
+// WriteBytes returns the bytes the stage materialized (shuffle write
+// preferred, job output as fallback).
+func (s *StageRecord) WriteBytes() int64 {
+	if s.ShuffleWriteBytes > 0 {
+		return s.ShuffleWriteBytes
+	}
+	return s.OutputBytes
+}
+
+// Skew estimates the task-duration heterogeneity in [0,1]: the spread of
+// task durations relative to the longest task — the quantity that governs
+// how early shuffle output becomes available to pipelined consumers.
+func (s *StageRecord) Skew() float64 {
+	if len(s.TaskDurationsMs) < 2 {
+		return 0
+	}
+	min, max := s.TaskDurationsMs[0], s.TaskDurationsMs[0]
+	for _, d := range s.TaskDurationsMs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
+}
+
+// Log is a parsed event log.
+type Log struct {
+	AppName string
+	Stages  []StageRecord
+}
+
+// event is the union of the JSON fields we care about.
+type event struct {
+	Event     string       `json:"Event"`
+	AppName   string       `json:"App Name"`
+	StageInfo *stageInfo   `json:"Stage Info"`
+	StageID   *int         `json:"Stage ID"`
+	TaskInfo  *taskInfo    `json:"Task Info"`
+	Metrics   *taskMetrics `json:"Task Metrics"`
+}
+
+type stageInfo struct {
+	StageID    int    `json:"Stage ID"`
+	Name       string `json:"Stage Name"`
+	NumTasks   int    `json:"Number of Tasks"`
+	ParentIDs  []int  `json:"Parent IDs"`
+	Submission *int64 `json:"Submission Time"`
+	Completion *int64 `json:"Completion Time"`
+}
+
+type taskInfo struct {
+	LaunchTime int64 `json:"Launch Time"`
+	FinishTime int64 `json:"Finish Time"`
+}
+
+type taskMetrics struct {
+	ExecutorRunTime int64 `json:"Executor Run Time"`
+	Input           struct {
+		BytesRead int64 `json:"Bytes Read"`
+	} `json:"Input Metrics"`
+	Output struct {
+		BytesWritten int64 `json:"Bytes Written"`
+	} `json:"Output Metrics"`
+	ShuffleRead struct {
+		RemoteBytesRead int64 `json:"Remote Bytes Read"`
+		LocalBytesRead  int64 `json:"Local Bytes Read"`
+	} `json:"Shuffle Read Metrics"`
+	ShuffleWrite struct {
+		BytesWritten int64 `json:"Shuffle Bytes Written"`
+	} `json:"Shuffle Write Metrics"`
+}
+
+// Parse reads a Spark event log. Unknown events and malformed lines are
+// skipped (real logs contain dozens of event types and occasional
+// truncated last lines).
+func Parse(r io.Reader) (*Log, error) {
+	log := &Log{}
+	stages := map[int]*StageRecord{}
+	var order []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate junk lines
+		}
+		switch ev.Event {
+		case "SparkListenerApplicationStart":
+			log.AppName = ev.AppName
+		case "SparkListenerStageSubmitted":
+			if ev.StageInfo == nil {
+				continue
+			}
+			st := ensureStage(stages, &order, ev.StageInfo.StageID)
+			applyStageInfo(st, ev.StageInfo)
+		case "SparkListenerStageCompleted":
+			if ev.StageInfo == nil {
+				continue
+			}
+			st := ensureStage(stages, &order, ev.StageInfo.StageID)
+			applyStageInfo(st, ev.StageInfo)
+		case "SparkListenerTaskEnd":
+			if ev.StageID == nil {
+				continue
+			}
+			st := ensureStage(stages, &order, *ev.StageID)
+			if ev.TaskInfo != nil {
+				st.TaskDurationsMs = append(st.TaskDurationsMs, ev.TaskInfo.FinishTime-ev.TaskInfo.LaunchTime)
+			}
+			if m := ev.Metrics; m != nil {
+				st.ExecutorRunTimeMs += m.ExecutorRunTime
+				st.InputBytes += m.Input.BytesRead
+				st.OutputBytes += m.Output.BytesWritten
+				st.ShuffleReadBytes += m.ShuffleRead.RemoteBytesRead + m.ShuffleRead.LocalBytesRead
+				st.ShuffleWriteBytes += m.ShuffleWrite.BytesWritten
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	for _, id := range order {
+		log.Stages = append(log.Stages, *stages[id])
+	}
+	sort.Slice(log.Stages, func(i, j int) bool { return log.Stages[i].ID < log.Stages[j].ID })
+	if len(log.Stages) == 0 {
+		return nil, fmt.Errorf("eventlog: no stage events found")
+	}
+	return log, nil
+}
+
+func ensureStage(m map[int]*StageRecord, order *[]int, id int) *StageRecord {
+	if st, ok := m[id]; ok {
+		return st
+	}
+	st := &StageRecord{ID: id}
+	m[id] = st
+	*order = append(*order, id)
+	return st
+}
+
+func applyStageInfo(st *StageRecord, si *stageInfo) {
+	if si.Name != "" {
+		st.Name = si.Name
+	}
+	if si.NumTasks > 0 {
+		st.NumTasks = si.NumTasks
+	}
+	if len(si.ParentIDs) > 0 {
+		st.Parents = append([]int(nil), si.ParentIDs...)
+	}
+	if si.Submission != nil {
+		st.Submitted = float64(*si.Submission) / 1000
+	}
+	if si.Completion != nil {
+		st.Completed = float64(*si.Completion) / 1000
+	}
+}
+
+// Job converts the log into a simulator workload: the DAG from Parent IDs,
+// shuffle sizes from the task metrics, R_k from executor run time
+// (bytes processed per executor-second), and skew from the task-duration
+// spread. Stages with no byte metrics get a nominal 1 MiB so the workload
+// stays simulable. ref is only used for validation context; quantities
+// are taken from the log as-is.
+func (l *Log) Job(ref *cluster.Cluster) (*workload.Job, error) {
+	if ref == nil {
+		return nil, fmt.Errorf("eventlog: nil reference cluster")
+	}
+	g := dag.New()
+	profiles := make(map[dag.StageID]workload.StageProfile, len(l.Stages))
+	known := map[int]bool{}
+	for _, st := range l.Stages {
+		known[st.ID] = true
+	}
+	for _, st := range l.Stages {
+		var parents []dag.StageID
+		for _, p := range st.Parents {
+			if known[p] && p != st.ID {
+				parents = append(parents, dag.StageID(p))
+			}
+		}
+		if err := g.AddStage(dag.Stage{ID: dag.StageID(st.ID), Name: st.Name, Parents: parents}); err != nil {
+			return nil, fmt.Errorf("eventlog: %w", err)
+		}
+		in := st.ReadBytes()
+		if in <= 0 {
+			in = 1 << 20
+		}
+		rate := 1.0
+		if st.ExecutorRunTimeMs > 0 {
+			rate = float64(in) / (float64(st.ExecutorRunTimeMs) / 1000)
+		}
+		if rate <= 0 {
+			rate = 1
+		}
+		profiles[dag.StageID(st.ID)] = workload.StageProfile{
+			ShuffleIn:  in,
+			ShuffleOut: st.WriteBytes(),
+			ProcRate:   rate,
+			Skew:       st.Skew(),
+			Tasks:      st.NumTasks,
+		}
+	}
+	name := l.AppName
+	if name == "" {
+		name = "spark-app"
+	}
+	j := &workload.Job{Name: name, Graph: g, Profiles: profiles}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	return j, nil
+}

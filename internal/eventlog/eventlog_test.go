@@ -1,0 +1,172 @@
+package eventlog
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/core"
+	"delaystage/internal/dag"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+const sampleLog = `{"Event":"SparkListenerApplicationStart","App Name":"als-job"}
+{"Event":"SparkListenerStageSubmitted","Stage Info":{"Stage ID":0,"Stage Name":"map at ALS.scala:42","Number of Tasks":4,"Parent IDs":[],"Submission Time":1000000}}
+{"Event":"SparkListenerTaskEnd","Stage ID":0,"Task Info":{"Launch Time":1000000,"Finish Time":1005000},"Task Metrics":{"Executor Run Time":5000,"Input Metrics":{"Bytes Read":1048576},"Shuffle Write Metrics":{"Shuffle Bytes Written":524288}}}
+{"Event":"SparkListenerTaskEnd","Stage ID":0,"Task Info":{"Launch Time":1000000,"Finish Time":1002000},"Task Metrics":{"Executor Run Time":2000,"Input Metrics":{"Bytes Read":1048576},"Shuffle Write Metrics":{"Shuffle Bytes Written":524288}}}
+{"Event":"SparkListenerStageCompleted","Stage Info":{"Stage ID":0,"Stage Name":"map at ALS.scala:42","Number of Tasks":4,"Parent IDs":[],"Submission Time":1000000,"Completion Time":1010000}}
+{"Event":"SparkListenerStageSubmitted","Stage Info":{"Stage ID":1,"Stage Name":"reduce","Number of Tasks":2,"Parent IDs":[0],"Submission Time":1010000}}
+{"Event":"SparkListenerTaskEnd","Stage ID":1,"Task Info":{"Launch Time":1010000,"Finish Time":1013000},"Task Metrics":{"Executor Run Time":3000,"Shuffle Read Metrics":{"Remote Bytes Read":700000,"Local Bytes Read":300000}}}
+{"Event":"SparkListenerStageCompleted","Stage Info":{"Stage ID":1,"Stage Name":"reduce","Number of Tasks":2,"Parent IDs":[0],"Submission Time":1010000,"Completion Time":1016000}}
+{"Event":"SparkListenerEnvironmentUpdate","JVM Information":{}}
+this line is junk and must be skipped
+`
+
+func TestParseSampleLog(t *testing.T) {
+	l, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.AppName != "als-job" {
+		t.Fatalf("app name %q", l.AppName)
+	}
+	if len(l.Stages) != 2 {
+		t.Fatalf("%d stages", len(l.Stages))
+	}
+	s0 := l.Stages[0]
+	if s0.ID != 0 || s0.NumTasks != 4 || s0.InputBytes != 2*1048576 {
+		t.Fatalf("stage 0 = %+v", s0)
+	}
+	if s0.Duration() != 10 {
+		t.Fatalf("stage 0 duration %v, want 10s", s0.Duration())
+	}
+	if s0.ShuffleWriteBytes != 1048576 {
+		t.Fatalf("stage 0 shuffle write %d", s0.ShuffleWriteBytes)
+	}
+	s1 := l.Stages[1]
+	if len(s1.Parents) != 1 || s1.Parents[0] != 0 {
+		t.Fatalf("stage 1 parents %v", s1.Parents)
+	}
+	if s1.ShuffleReadBytes != 1000000 {
+		t.Fatalf("stage 1 shuffle read %d (remote+local)", s1.ShuffleReadBytes)
+	}
+}
+
+func TestSkewEstimate(t *testing.T) {
+	st := StageRecord{TaskDurationsMs: []int64{5000, 2000}}
+	if got := st.Skew(); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("skew %v, want 0.6", got)
+	}
+	if (&StageRecord{}).Skew() != 0 {
+		t.Fatal("no tasks → skew 0")
+	}
+	if (&StageRecord{TaskDurationsMs: []int64{7, 7, 7}}).Skew() != 0 {
+		t.Fatal("uniform tasks → skew 0")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("")); err == nil {
+		t.Fatal("empty log must error")
+	}
+	if _, err := Parse(strings.NewReader(`{"Event":"SparkListenerApplicationStart","App Name":"x"}`)); err == nil {
+		t.Fatal("log without stages must error")
+	}
+}
+
+func TestJobFromLog(t *testing.T) {
+	l, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.NewM4LargeCluster(5)
+	j, err := l.Job(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Graph.Len() != 2 || j.Name != "als-job" {
+		t.Fatalf("job %+v", j)
+	}
+	p0 := j.Profiles[0]
+	// R_k = bytes / executor-seconds = 2 MiB / 7 s.
+	wantRate := float64(2*1048576) / 7
+	if math.Abs(p0.ProcRate-wantRate) > 1 {
+		t.Fatalf("rate %v, want %v", p0.ProcRate, wantRate)
+	}
+	if p0.Tasks != 4 {
+		t.Fatalf("tasks %d", p0.Tasks)
+	}
+	// The materialized job must simulate.
+	if _, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: j}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full pipeline the prototype implements: run a job (simulated stand-in
+// for Spark), collect its event log, parse it back, extract parameters,
+// and compute a DelayStage schedule from the *log-derived* job.
+func TestEndToEndLogPipeline(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	truth := workload.CosineSimilarity(c, 0.2)
+	res, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: truth}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Synthesize(truth, res, 8, rand.New(rand.NewSource(1)))
+
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := back.Job(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived job must carry the truth's shuffle quantities exactly
+	// (they round-trip through the task metrics).
+	for _, id := range truth.Graph.Stages() {
+		dp, tp := derived.Profiles[id], truth.Profiles[id]
+		if absDiff := dp.ShuffleIn - tp.ShuffleIn; absDiff > int64(l.Stages[0].NumTasks) || absDiff < -int64(l.Stages[0].NumTasks) {
+			t.Fatalf("stage %d shuffle-in %d, want ≈%d", id, dp.ShuffleIn, tp.ShuffleIn)
+		}
+	}
+	// A schedule computed from the log-derived job must not regress the
+	// true job.
+	sched, err := core.Compute(core.Options{Cluster: c}, derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stock, _ := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: truth}})
+	delayed, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: truth, Delays: sched.Delays}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.JCT(0) > stock.JCT(0)*1.02 {
+		t.Fatalf("log-derived schedule regressed: %.1f vs %.1f", delayed.JCT(0), stock.JCT(0))
+	}
+	t.Logf("log-derived schedule: stock %.1f → %.1f", stock.JCT(0), delayed.JCT(0))
+}
+
+func TestSynthesizeSkewRoundTrip(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	truth := workload.TriangleCount(c, 0.1)
+	res, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: truth}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Synthesize(truth, res, 16, rand.New(rand.NewSource(2)))
+	for _, st := range l.Stages {
+		want := truth.Profiles[dag.StageID(st.ID)].Skew
+		if math.Abs(st.Skew()-want) > 0.05 {
+			t.Errorf("stage %d skew %v, want ≈%v", st.ID, st.Skew(), want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+
+	"delaystage/internal/cluster"
+)
+
+// FuzzParse: arbitrary (possibly corrupt) event-log bytes must either
+// error or produce a log whose Job() materializes into a valid DAG.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleLog)
+	f.Add(`{"Event":"SparkListenerStageCompleted","Stage Info":{"Stage ID":0,"Submission Time":1,"Completion Time":2}}`)
+	f.Add(`{"Event":"SparkListenerTaskEnd","Stage ID":3}`)
+	f.Add("{}\nnot json\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		ref := cluster.NewM4LargeCluster(2)
+		if _, err := l.Job(ref); err != nil {
+			// Cyclic Parent IDs are legitimately rejected; panics are not.
+			return
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package experiments
+
+// All runs every experiment in paper order, rendering to cfg.W. It returns
+// the first error encountered.
+func All(cfg Config) error {
+	cfg.defaults()
+	if _, err := Fig2(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig3(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig4(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig5(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig6(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig10(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig11(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig12(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig13(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig14(cfg); err != nil { // also renders Table 4
+		return err
+	}
+	if _, err := Fig15(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig16(cfg); err != nil {
+		return err
+	}
+	if _, err := Fig17(cfg); err != nil {
+		return err
+	}
+	if _, err := Table3(cfg); err != nil {
+		return err
+	}
+	if _, err := AppendixA2(cfg); err != nil {
+		return err
+	}
+	if _, err := Overhead(cfg); err != nil {
+		return err
+	}
+	if _, err := GeoExtension(cfg); err != nil {
+		return err
+	}
+	if _, err := OnlineExtension(cfg); err != nil {
+		return err
+	}
+	if _, err := Sensitivity(cfg); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package geo extends DelayStage to geo-distributed analytics — the
+// future-work direction the paper commits to in Sec. 6 ("we plan to extend
+// DelayStage to the geo-distributed setting and examine its effectiveness").
+//
+// The model follows the geo-analytics literature the paper cites (Iridium,
+// Tetrium, Clarinet): a job's stages are *placed* in datacenters; a stage
+// shuffle-reads from every parent's datacenter over WAN links that are far
+// scarcer than intra-DC bandwidth, computes on its own DC's executors, and
+// writes to its DC's storage. Eq. (1)'s "max over input links" — which the
+// single-cluster simulator collapses into one NIC — is explicit here: a
+// stage's read finishes when its slowest WAN flow does.
+//
+// The fluid semantics (max-min sharing, saturating contention overhead,
+// delayed submission) match internal/sim, so schedules and comparisons
+// carry over.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+	"delaystage/internal/workload"
+)
+
+// Topology is a set of datacenters connected by WAN links.
+type Topology struct {
+	// DCs holds each datacenter's aggregate capacity (a coarsened
+	// cluster: total executors, intra-DC NIC and disk bandwidth).
+	DCs []cluster.Node
+	// WAN[i][j] is the bandwidth of the link from DC i to DC j in
+	// bytes/s (i ≠ j). WAN[i][i] is ignored — local reads use the DC NIC.
+	WAN [][]float64
+}
+
+// Validate checks the topology's shape and capacities.
+func (t *Topology) Validate() error {
+	n := len(t.DCs)
+	if n == 0 {
+		return fmt.Errorf("geo: no datacenters")
+	}
+	for i, dc := range t.DCs {
+		if dc.Executors <= 0 || dc.NetBW <= 0 || dc.DiskBW <= 0 {
+			return fmt.Errorf("geo: DC %d has non-positive capacity", i)
+		}
+	}
+	if len(t.WAN) != n {
+		return fmt.Errorf("geo: WAN matrix is %d×?, want %d×%d", len(t.WAN), n, n)
+	}
+	for i := range t.WAN {
+		if len(t.WAN[i]) != n {
+			return fmt.Errorf("geo: WAN row %d has %d entries, want %d", i, len(t.WAN[i]), n)
+		}
+		for j := range t.WAN[i] {
+			if i != j && t.WAN[i][j] <= 0 {
+				return fmt.Errorf("geo: WAN[%d][%d] must be positive", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Placement assigns every stage to a datacenter index.
+type Placement map[dag.StageID]int
+
+// Job is a DAG job placed across datacenters.
+type Job struct {
+	Workload  *workload.Job
+	Placement Placement
+}
+
+// Validate checks that every stage is placed in a valid DC.
+func (j *Job) Validate(t *Topology) error {
+	if j.Workload == nil {
+		return fmt.Errorf("geo: nil workload")
+	}
+	if err := j.Workload.Validate(); err != nil {
+		return err
+	}
+	for _, id := range j.Workload.Graph.Stages() {
+		dc, ok := j.Placement[id]
+		if !ok {
+			return fmt.Errorf("geo: stage %d has no placement", id)
+		}
+		if dc < 0 || dc >= len(t.DCs) {
+			return fmt.Errorf("geo: stage %d placed in unknown DC %d", id, dc)
+		}
+	}
+	return nil
+}
+
+// UniformWAN builds an n-DC topology with identical DCs and a uniform WAN
+// bandwidth, the standard testbed shape in the geo-analytics literature.
+func UniformWAN(nDC int, dc cluster.Node, wanBW float64) *Topology {
+	t := &Topology{DCs: make([]cluster.Node, nDC), WAN: make([][]float64, nDC)}
+	for i := 0; i < nDC; i++ {
+		d := dc
+		d.ID = i
+		t.DCs[i] = d
+		t.WAN[i] = make([]float64, nDC)
+		for j := 0; j < nDC; j++ {
+			if i != j {
+				t.WAN[i][j] = wanBW
+			}
+		}
+	}
+	return t
+}
+
+// SpreadPlacement places stages round-robin over the DCs in topological
+// order — a simple locality-oblivious placement baseline.
+func SpreadPlacement(j *workload.Job, nDC int) (Placement, error) {
+	topo, err := j.Graph.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	p := make(Placement, len(topo))
+	for i, id := range topo {
+		p[id] = i % nDC
+	}
+	return p, nil
+}
+
+// InputWeights returns, for a stage, the fraction of its shuffle input
+// produced by each parent (proportional to parent shuffle-output size;
+// equal when all outputs are zero). Root stages read everything locally.
+func InputWeights(j *workload.Job, id dag.StageID) map[dag.StageID]float64 {
+	parents := j.Graph.Parents(id)
+	out := make(map[dag.StageID]float64, len(parents))
+	if len(parents) == 0 {
+		return out
+	}
+	total := 0.0
+	for _, p := range parents {
+		total += float64(j.Profiles[p].ShuffleOut)
+	}
+	for _, p := range parents {
+		if total > 0 {
+			out[p] = float64(j.Profiles[p].ShuffleOut) / total
+		} else {
+			out[p] = 1 / float64(len(parents))
+		}
+	}
+	return out
+}
+
+// WANBytes returns the total bytes the job moves across WAN links under
+// the placement — the metric Iridium/Clarinet minimize. Useful to sanity-
+// check placements in tests and examples.
+func WANBytes(t *Topology, j *Job) int64 {
+	var total int64
+	for _, id := range j.Workload.Graph.Stages() {
+		dst := j.Placement[id]
+		w := InputWeights(j.Workload, id)
+		in := j.Workload.Profiles[id].ShuffleIn
+		for p, frac := range w {
+			if j.Placement[p] != dst {
+				total += int64(frac * float64(in))
+			}
+		}
+	}
+	return total
+}
+
+// sortedStages returns the job's stages sorted by ID (deterministic
+// iteration helper).
+func sortedStages(j *workload.Job) []dag.StageID {
+	ids := j.Graph.Stages()
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// almostZero reports |v| below the fluid tolerance.
+func almostZero(v float64) bool { return math.Abs(v) < 1e-9 }

@@ -1,0 +1,362 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delaystage/internal/dag"
+)
+
+// Options configures a geo simulation run.
+type Options struct {
+	Topology *Topology
+	// ContentionOverhead is the saturating sharing-efficiency loss, as in
+	// internal/sim (default 0.22; negative means 0).
+	ContentionOverhead float64
+	// MaxTime aborts pathological runs (default 30 days).
+	MaxTime float64
+}
+
+// Timeline records one stage's lifecycle in the geo simulation.
+type Timeline struct {
+	Ready      float64
+	Start      float64
+	ReadEnd    float64
+	ComputeEnd float64
+	End        float64
+}
+
+// Result is a geo simulation outcome.
+type Result struct {
+	Timelines map[dag.StageID]Timeline
+	JCT       float64
+	Events    int
+	// WANBytes is the total cross-DC traffic moved; AvgWANUtil the mean
+	// utilization of WAN capacity over the job's lifetime.
+	WANBytes   int64
+	AvgWANUtil float64
+}
+
+type gPhase uint8
+
+const (
+	gRead gPhase = iota
+	gCompute
+	gWrite
+)
+
+// gflow is one fluid consumer: a read flow (local or WAN), a compute item,
+// or a write item.
+type gflow struct {
+	stage     dag.StageID
+	ph        gPhase
+	remaining float64
+	rate      float64
+	// resource routing
+	srcDC, dstDC int  // for reads; srcDC == dstDC means local NIC
+	wan          bool // true when the flow crosses DCs
+}
+
+type gstage struct {
+	id          dag.StageID
+	dc          int
+	parentsLeft int
+	children    []dag.StageID
+	flowsLeft   int // outstanding read flows
+	submitted   bool
+	complete    bool
+	tl          Timeline
+}
+
+// Run simulates the placed job under the given delays (x_k seconds after
+// a stage becomes ready, exactly as in internal/sim).
+func Run(opt Options, job *Job, delays map[dag.StageID]float64) (*Result, error) {
+	if opt.Topology == nil {
+		return nil, fmt.Errorf("geo: nil topology")
+	}
+	if err := opt.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if err := job.Validate(opt.Topology); err != nil {
+		return nil, err
+	}
+	for id, d := range delays {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("geo: stage %d has invalid delay %v", id, d)
+		}
+	}
+	alpha := opt.ContentionOverhead
+	if alpha == 0 {
+		alpha = 0.22
+	} else if alpha < 0 {
+		alpha = 0
+	}
+	if opt.MaxTime <= 0 {
+		opt.MaxTime = 30 * 24 * 3600
+	}
+	t := opt.Topology
+	wl := job.Workload
+
+	stages := make(map[dag.StageID]*gstage, wl.Graph.Len())
+	for _, id := range sortedStages(wl) {
+		st := &gstage{id: id, dc: job.Placement[id], parentsLeft: len(wl.Graph.Parents(id))}
+		st.children = wl.Graph.Children(id)
+		stages[id] = st
+	}
+
+	var flows []*gflow
+	// timers: delayed submissions, as (time, stage) pairs kept sorted.
+	type timer struct {
+		at    float64
+		stage dag.StageID
+	}
+	var timers []timer
+	pushTimer := func(at float64, id dag.StageID) {
+		timers = append(timers, timer{at, id})
+		sort.Slice(timers, func(i, j int) bool {
+			if timers[i].at != timers[j].at {
+				return timers[i].at < timers[j].at
+			}
+			return timers[i].stage < timers[j].stage
+		})
+	}
+
+	now := 0.0
+	res := &Result{Timelines: map[dag.StageID]Timeline{}}
+
+	contended := func(capacity float64, n int) float64 {
+		if n <= 1 {
+			return capacity
+		}
+		extra := float64(n - 1)
+		if extra > 4 {
+			extra = 4
+		}
+		return capacity / (1 + alpha*extra)
+	}
+
+	var finishWrite func(st *gstage)
+
+	submit := func(st *gstage) {
+		if st.submitted {
+			return
+		}
+		st.submitted = true
+		st.tl.Start = now
+		in := float64(wl.Profiles[st.id].ShuffleIn)
+		weights := InputWeights(wl, st.id)
+		if len(weights) == 0 {
+			// Root stage: one local storage read.
+			flows = append(flows, &gflow{stage: st.id, ph: gRead, remaining: in, srcDC: st.dc, dstDC: st.dc})
+			st.flowsLeft = 1
+			return
+		}
+		for p, frac := range weights {
+			vol := frac * in
+			if almostZero(vol) {
+				continue
+			}
+			src := job.Placement[p]
+			flows = append(flows, &gflow{
+				stage: st.id, ph: gRead, remaining: vol,
+				srcDC: src, dstDC: st.dc, wan: src != st.dc,
+			})
+			st.flowsLeft++
+			if src != st.dc {
+				res.WANBytes += int64(vol)
+			}
+		}
+		if st.flowsLeft == 0 { // zero-input stage
+			st.tl.ReadEnd = now
+			vol := in
+			if vol <= 0 {
+				vol = 1
+			}
+			flows = append(flows, &gflow{stage: st.id, ph: gCompute, remaining: vol})
+		}
+	}
+
+	markReady := func(st *gstage) {
+		st.tl.Ready = now
+		d := 0.0
+		if delays != nil {
+			d = delays[st.id]
+		}
+		if d == 0 {
+			submit(st)
+		} else {
+			pushTimer(now+d, st.id)
+		}
+	}
+
+	finishWrite = func(st *gstage) {
+		st.complete = true
+		st.tl.End = now
+		res.Timelines[st.id] = st.tl
+		if now > res.JCT {
+			res.JCT = now
+		}
+		for _, c := range st.children {
+			cst := stages[c]
+			cst.parentsLeft--
+			if cst.parentsLeft == 0 {
+				markReady(cst)
+			}
+		}
+	}
+
+	// Roots ready at t=0.
+	for _, id := range wl.Graph.Roots() {
+		markReady(stages[id])
+	}
+
+	var wanBusyInt float64
+	totalWAN := 0.0
+	for i := range t.WAN {
+		for j := range t.WAN[i] {
+			if i != j {
+				totalWAN += t.WAN[i][j]
+			}
+		}
+	}
+
+	for len(flows) > 0 || len(timers) > 0 {
+		// Fire due timers.
+		for len(timers) > 0 && timers[0].at <= now+1e-9 {
+			submit(stages[timers[0].stage])
+			timers = timers[1:]
+		}
+		if len(flows) == 0 {
+			if len(timers) == 0 {
+				break
+			}
+			now = timers[0].at
+			continue
+		}
+		// Rate assignment: group consumers per resource.
+		type key struct {
+			kind int // 0 NIC, 1 exec, 2 disk, 3 WAN
+			a, b int
+		}
+		groups := map[key][]*gflow{}
+		for _, f := range flows {
+			var k key
+			switch f.ph {
+			case gRead:
+				if f.wan {
+					k = key{3, f.srcDC, f.dstDC}
+				} else {
+					k = key{0, f.dstDC, 0}
+				}
+			case gCompute:
+				k = key{1, stages[f.stage].dc, 0}
+			case gWrite:
+				k = key{2, stages[f.stage].dc, 0}
+			}
+			groups[k] = append(groups[k], f)
+		}
+		for k, fs := range groups {
+			var capacity float64
+			switch k.kind {
+			case 0:
+				capacity = t.DCs[k.a].NetBW
+			case 1:
+				capacity = float64(t.DCs[k.a].Executors)
+			case 2:
+				capacity = t.DCs[k.a].DiskBW
+			case 3:
+				capacity = t.WAN[k.a][k.b]
+			}
+			share := contended(capacity, len(fs)) / float64(len(fs))
+			for _, f := range fs {
+				if f.ph == gCompute {
+					f.rate = share * wl.Profiles[f.stage].ProcRate
+				} else {
+					f.rate = share
+				}
+			}
+		}
+		// Next event.
+		dt := math.Inf(1)
+		for _, f := range flows {
+			if f.rate > 1e-12 {
+				if d := f.remaining / f.rate; d < dt {
+					dt = d
+				}
+			}
+		}
+		if len(timers) > 0 {
+			if d := timers[0].at - now; d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("geo: deadlock at t=%.3f", now)
+		}
+		if dt < 1e-9 {
+			dt = 1e-9
+		}
+		// Advance.
+		for _, f := range flows {
+			f.remaining -= f.rate * dt
+			if f.ph == gRead && f.wan {
+				wanBusyInt += f.rate * dt
+			}
+		}
+		now += dt
+		res.Events++
+		if now > opt.MaxTime {
+			return nil, fmt.Errorf("geo: exceeded MaxTime %.0fs", opt.MaxTime)
+		}
+		if res.Events > 5_000_000 {
+			return nil, fmt.Errorf("geo: event limit exceeded")
+		}
+		// Completions.
+		kept := flows[:0]
+		var done []*gflow
+		for _, f := range flows {
+			if f.remaining <= 1e-6 {
+				done = append(done, f)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		flows = kept
+		sort.Slice(done, func(i, j int) bool {
+			if done[i].stage != done[j].stage {
+				return done[i].stage < done[j].stage
+			}
+			return done[i].ph < done[j].ph
+		})
+		for _, f := range done {
+			st := stages[f.stage]
+			switch f.ph {
+			case gRead:
+				st.flowsLeft--
+				if st.flowsLeft == 0 {
+					st.tl.ReadEnd = now
+					vol := float64(wl.Profiles[st.id].ShuffleIn)
+					if vol <= 0 {
+						vol = 1
+					}
+					flows = append(flows, &gflow{stage: st.id, ph: gCompute, remaining: vol})
+				}
+			case gCompute:
+				st.tl.ComputeEnd = now
+				out := float64(wl.Profiles[st.id].ShuffleOut)
+				if out > 0 {
+					flows = append(flows, &gflow{stage: st.id, ph: gWrite, remaining: out})
+				} else {
+					finishWrite(st)
+				}
+			case gWrite:
+				finishWrite(st)
+			}
+		}
+	}
+	if res.JCT > 0 && totalWAN > 0 {
+		res.AvgWANUtil = wanBusyInt / (totalWAN * res.JCT)
+	}
+	return res, nil
+}

@@ -1,0 +1,26 @@
+package jobspec
+
+import (
+	"strings"
+	"testing"
+
+	"delaystage/internal/cluster"
+)
+
+// FuzzParse: arbitrary JSON must either error or produce a spec that
+// materializes into a valid workload (or is rejected at that step).
+func FuzzParse(f *testing.F) {
+	f.Add(sampleJSON)
+	f.Add(`{"stages":[{"id":1,"phases":{"read_sec":1,"compute_sec":1}}]}`)
+	f.Add(`{"stages":[{"id":1,"parents":[1],"phases":{}}]}`)
+	f.Add(`{"name":"x"}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if _, err := s.Job(cluster.NewM4LargeCluster(2)); err != nil {
+			return // cycles / bad profiles rejected, not panicked
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package perfmodel
+
+import "fmt"
+
+// InputLink is one shuffle-input source of a task: s^{i,w} bytes arriving
+// over a link with available bandwidth B^{i,w} — the per-link quantities
+// of Eq. (1) that the symmetric single-cluster model collapses into one
+// NIC term. The geo-distributed extension uses this form directly.
+type InputLink struct {
+	Bytes int64   // s^{i,w}
+	BW    float64 // B^{i,w}, bytes/s
+}
+
+// TaskTimeLinks is Eq. (1) in its full per-link form:
+//
+//	t_k^w = max_i (s^{i,w} / B^{i,w})            — slowest input link
+//	      + Σ_i s^{i,w} / (ε_k^w · R_k)          — processing of all input
+//	      + d^w / D_k^w                           — shuffle write
+//
+// executors is ε_k^w (the executors available to the stage on the worker),
+// procRate R_k, writeBytes d^w and diskBW D_k^w.
+func TaskTimeLinks(links []InputLink, executors, procRate float64, writeBytes int64, diskBW float64) (float64, error) {
+	if executors <= 0 || procRate <= 0 {
+		return 0, fmt.Errorf("perfmodel: non-positive compute capacity")
+	}
+	read := 0.0
+	var totalIn int64
+	for i, l := range links {
+		if l.Bytes < 0 {
+			return 0, fmt.Errorf("perfmodel: link %d has negative bytes", i)
+		}
+		if l.Bytes == 0 {
+			continue
+		}
+		if l.BW <= 0 {
+			return 0, fmt.Errorf("perfmodel: link %d has non-positive bandwidth", i)
+		}
+		if t := float64(l.Bytes) / l.BW; t > read {
+			read = t
+		}
+		totalIn += l.Bytes
+	}
+	compute := float64(totalIn) / (executors * procRate)
+	write := 0.0
+	if writeBytes > 0 {
+		if diskBW <= 0 {
+			return 0, fmt.Errorf("perfmodel: non-positive disk bandwidth with pending writes")
+		}
+		write = float64(writeBytes) / diskBW
+	}
+	return read + compute + write, nil
+}

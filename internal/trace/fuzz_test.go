@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTaskName: the dependency-grammar decoder must never panic and
+// must keep its invariants (ok ⇒ id parsed from the name; parents are
+// numeric suffixes).
+func FuzzParseTaskName(f *testing.F) {
+	for _, seed := range []string{"M1", "R3_1_2", "task_123", "", "M", "J10_4",
+		"MergeTask", "M1_x", "M999999999999999999999", "_1", "M1_", "a1_2_3_4_5"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		id, parents, ok := ParseTaskName(name)
+		if !ok {
+			if id != 0 || parents != nil {
+				t.Fatalf("not-ok result must be zero: %d %v", id, parents)
+			}
+			return
+		}
+		for _, p := range parents {
+			_ = p
+		}
+	})
+}
+
+// FuzzParse: arbitrary CSV input must either parse into a well-formed
+// trace or return an error — never panic, never emit a cyclic job.
+func FuzzParse(f *testing.F) {
+	f.Add("M1,1,j,b,T,0,10,1,1\n")
+	f.Add(sampleCSV)
+	f.Add("R2_9,1,j,b,T,0,10,1,1\nM1,2,j,b,T,x,y,1,1\n")
+	f.Add(",,,,,,,\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for i := range tr.Jobs {
+			if _, err := tr.Jobs[i].Graph(); err != nil {
+				t.Fatalf("Parse emitted an invalid job %q: %v", tr.Jobs[i].Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"delaystage/internal/cluster"
+)
+
+func TestParseTaskName(t *testing.T) {
+	cases := []struct {
+		in      string
+		id      int
+		parents []int
+		ok      bool
+	}{
+		{"M1", 1, nil, true},
+		{"R3_1_2", 3, []int{1, 2}, true},
+		{"M2_1", 2, []int{1}, true},
+		{"J10_4", 10, []int{4}, true},
+		{"task_1234", 0, nil, false},
+		{"MergeTask", 0, nil, false},
+		{"", 0, nil, false},
+		{"M", 0, nil, false},
+		{"M1_x", 0, nil, false},
+	}
+	for _, c := range cases {
+		id, parents, ok := ParseTaskName(c.in)
+		if ok != c.ok {
+			t.Errorf("%q: ok=%v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if id != c.id || len(parents) != len(c.parents) {
+			t.Errorf("%q: id=%d parents=%v, want %d %v", c.in, id, parents, c.id, c.parents)
+			continue
+		}
+		for i := range parents {
+			if parents[i] != c.parents[i] {
+				t.Errorf("%q: parents=%v, want %v", c.in, parents, c.parents)
+			}
+		}
+	}
+}
+
+const sampleCSV = `M1,1,job_a,batch,Terminated,100,150,100,0.5
+M2,1,job_a,batch,Terminated,100,140,100,0.5
+R3_1_2,1,job_a,batch,Terminated,150,200,100,0.5
+task_merge,1,job_a,batch,Terminated,90,95,50,0.2
+M1,1,job_b,batch,Terminated,500,600,100,0.5
+`
+
+func TestParseSample(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(tr.Jobs))
+	}
+	a := tr.Jobs[0]
+	if a.Name != "job_a" || len(a.Stages) != 4 {
+		t.Fatalf("job_a = %+v", a)
+	}
+	if a.Arrival != 90 {
+		t.Fatalf("job_a arrival %v, want 90 (earliest stage start)", a.Arrival)
+	}
+	g, err := a.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Parents(3); len(got) != 2 {
+		t.Fatalf("stage 3 parents = %v", got)
+	}
+	// The unstructured task got a fresh ID (4) with no parents.
+	if got := g.Parents(4); len(got) != 0 {
+		t.Fatalf("synthetic stage parents = %v", got)
+	}
+}
+
+func TestParseBadRecord(t *testing.T) {
+	if _, err := Parse(strings.NewReader("M1,1,j\n")); err == nil {
+		t.Fatal("short record must error")
+	}
+	if _, err := Parse(strings.NewReader("M1,1,j,b,T,abc,200,1,1\n")); err == nil {
+		t.Fatal("bad start time must error")
+	}
+}
+
+func TestParseDuplicateStageRows(t *testing.T) {
+	csv := "M1,1,j,b,T,0,10,1,1\nM1,2,j,b,T,0,12,1,1\n"
+	tr, err := Parse(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs[0].Stages) != 1 {
+		t.Fatalf("duplicates must collapse: %+v", tr.Jobs[0].Stages)
+	}
+}
+
+func TestParseDanglingParent(t *testing.T) {
+	csv := "R2_9,1,j,b,T,0,10,1,1\n"
+	tr, err := Parse(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tr.Jobs[0].Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Parents(2); len(got) != 0 {
+		t.Fatalf("dangling parent must be dropped, got %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := Generate(GenConfig{Jobs: 50, Seed: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip: %d jobs, want %d", len(back.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		if len(back.Jobs[i].Stages) != len(tr.Jobs[i].Stages) {
+			t.Fatalf("job %d: %d stages, want %d", i, len(back.Jobs[i].Stages), len(tr.Jobs[i].Stages))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Jobs: 30, Seed: 9})
+	b := Generate(GenConfig{Jobs: 30, Seed: 9})
+	for i := range a.Jobs {
+		if a.Jobs[i].Arrival != b.Jobs[i].Arrival || len(a.Jobs[i].Stages) != len(b.Jobs[i].Stages) {
+			t.Fatal("same seed must give identical trace")
+		}
+	}
+}
+
+// TestGenerateMatchesPaperMarginals is the calibration test: the synthetic
+// trace must reproduce the statistics the paper reports (Sec. 2.1),
+// within tolerance.
+func TestGenerateMatchesPaperMarginals(t *testing.T) {
+	tr := Generate(GenConfig{Jobs: 4000, Seed: 1})
+	stats := Analyze(tr)
+	s := Summarize(stats)
+	// Paper: 68.6% of jobs have parallel stages.
+	if s.JobsWithParallelShare < 0.62 || s.JobsWithParallelShare > 0.75 {
+		t.Errorf("jobs-with-parallel share %.3f, want ≈0.686", s.JobsWithParallelShare)
+	}
+	// Paper: parallel stages are 79.1% of all stages.
+	if s.ParallelStageShare < 0.70 || s.ParallelStageShare > 0.90 {
+		t.Errorf("parallel stage share %.3f, want ≈0.79", s.ParallelStageShare)
+	}
+	// Paper: parallel-stage makespan averages 82.3% of job time.
+	if s.MeanParallelFrac < 0.65 || s.MeanParallelFrac > 0.95 {
+		t.Errorf("mean parallel makespan fraction %.3f, want ≈0.82", s.MeanParallelFrac)
+	}
+	// Paper (Fig. 2): ~90% of jobs have <15 parallel stages.
+	under15 := 0
+	for _, js := range stats {
+		if js.ParallelStages < 15 {
+			under15++
+		}
+	}
+	frac := float64(under15) / float64(len(stats))
+	if frac < 0.82 || frac > 0.97 {
+		t.Errorf("jobs with <15 parallel stages: %.3f, want ≈0.90", frac)
+	}
+	// Stage runtimes must span the paper's 10–3,000 s band.
+	minD, maxD := 1e18, 0.0
+	for _, j := range tr.Jobs {
+		for _, st := range j.Stages {
+			d := st.Duration()
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if minD < 9.99 || maxD > 3000 {
+		t.Errorf("stage durations [%.1f, %.1f] outside [10, 3000]", minD, maxD)
+	}
+	if maxD < 1000 {
+		t.Errorf("max duration %.1f; want a long tail", maxD)
+	}
+	// Stage counts must reach a tail past 100 but stay ≤ MaxStages.
+	maxStages := 0
+	for _, js := range stats {
+		if js.Stages > maxStages {
+			maxStages = js.Stages
+		}
+	}
+	if maxStages > 186 {
+		t.Errorf("max stages %d > 186", maxStages)
+	}
+	if maxStages < 60 {
+		t.Errorf("max stages %d; want a heavy tail (paper max 186)", maxStages)
+	}
+}
+
+func TestGenerateScheduleConsistent(t *testing.T) {
+	tr := Generate(GenConfig{Jobs: 200, Seed: 5})
+	for _, j := range tr.Jobs {
+		byID := map[int]Stage{}
+		for _, s := range j.Stages {
+			byID[s.ID] = s
+		}
+		for _, s := range j.Stages {
+			if s.End <= s.Start {
+				t.Fatalf("job %s stage %d: end ≤ start", j.Name, s.ID)
+			}
+			if s.Start < j.Arrival-1e-9 {
+				t.Fatalf("job %s stage %d starts before arrival", j.Name, s.ID)
+			}
+			for _, p := range s.Parents {
+				if ps, ok := byID[p]; ok && s.Start < ps.End-1e-9 {
+					t.Fatalf("job %s stage %d starts before parent %d ends", j.Name, s.ID, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	tr := Generate(GenConfig{Jobs: 100, Seed: 2})
+	for i := 1; i < len(tr.Jobs); i++ {
+		if tr.Jobs[i].Arrival < tr.Jobs[i-1].Arrival {
+			t.Fatal("jobs not sorted by arrival")
+		}
+	}
+}
+
+func TestWorkloadConversion(t *testing.T) {
+	tr := Generate(GenConfig{Jobs: 20, Seed: 4})
+	ref := cluster.NewM4LargeCluster(4)
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		wj, err := j.Workload(ref, DefaultSplit, nil)
+		if err != nil {
+			t.Fatalf("job %s: %v", j.Name, err)
+		}
+		if wj.Graph.Len() != len(j.Stages) {
+			t.Fatalf("job %s: %d stages, want %d", j.Name, wj.Graph.Len(), len(j.Stages))
+		}
+	}
+}
+
+func TestWorkloadBadSplit(t *testing.T) {
+	tr := Generate(GenConfig{Jobs: 1, Seed: 4})
+	ref := cluster.NewM4LargeCluster(2)
+	if _, err := tr.Jobs[0].Workload(ref, PhaseSplit{Read: 0.9, Write: 0.2}, nil); err == nil {
+		t.Fatal("overfull split must error")
+	}
+	if _, err := tr.Jobs[0].Workload(ref, PhaseSplit{Read: -0.1}, nil); err == nil {
+		t.Fatal("negative split must error")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Jobs != 0 || s.ParallelStageShare != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestAnalyzeChainJob(t *testing.T) {
+	tr := &Trace{Jobs: []Job{{
+		Name: "chain",
+		Stages: []Stage{
+			{ID: 1, Start: 0, End: 10},
+			{ID: 2, Parents: []int{1}, Start: 10, End: 20},
+		},
+	}}}
+	stats := Analyze(tr)
+	if len(stats) != 1 || stats[0].ParallelStages != 0 || stats[0].ParallelMakespanFrac != 0 {
+		t.Fatalf("chain stats = %+v", stats)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleUsage = `m_1,10,55.5,40,,,20,25,5
+m_1,20,8.0,40,,,5,5,5
+m_2,10,90.0,60,,,50,45,10
+m_2,20,,60,,,50,45,10
+m_1,5,30.0,40,,,10,12,5
+`
+
+func TestParseUsage(t *testing.T) {
+	u, err := ParseUsage(strings.NewReader(sampleUsage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Machines) != 2 {
+		t.Fatalf("%d machines", len(u.Machines))
+	}
+	m1 := u.Machines["m_1"]
+	if len(m1) != 3 {
+		t.Fatalf("m_1 has %d samples", len(m1))
+	}
+	// Sorted by time.
+	if m1[0].Time != 5 || m1[2].Time != 20 {
+		t.Fatalf("m_1 not sorted: %+v", m1)
+	}
+	// The empty-cpu row of m_2 is skipped.
+	if len(u.Machines["m_2"]) != 1 {
+		t.Fatalf("m_2 has %d samples, want 1", len(u.Machines["m_2"]))
+	}
+	if m1[1].NetIn != 20 || m1[1].NetOut != 25 {
+		t.Fatalf("net fields wrong: %+v", m1[1])
+	}
+}
+
+func TestParseUsageErrors(t *testing.T) {
+	if _, err := ParseUsage(strings.NewReader("")); err == nil {
+		t.Error("empty usage must error")
+	}
+	if _, err := ParseUsage(strings.NewReader("m_1,xyz,50\n")); err == nil {
+		t.Error("bad timestamp must error")
+	}
+	if _, err := ParseUsage(strings.NewReader("m_1\n")); err == nil {
+		t.Error("short record must error")
+	}
+}
+
+func TestAnalyzeUsage(t *testing.T) {
+	u, err := ParseUsage(strings.NewReader(sampleUsage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := AnalyzeUsage(u, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Machines != 2 {
+		t.Fatalf("machines %d", all.Machines)
+	}
+	// Mean CPU over {55.5, 8, 30, 90} = 45.875.
+	if all.MeanCPU < 45.8 || all.MeanCPU > 46 {
+		t.Fatalf("mean CPU %v", all.MeanCPU)
+	}
+	// One of four samples below 10%.
+	if all.LowCPUFraction != 0.25 {
+		t.Fatalf("low fraction %v", all.LowCPUFraction)
+	}
+	one, err := AnalyzeUsage(u, "m_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Machines != 1 || one.MeanCPU != 90 {
+		t.Fatalf("m_2 stats %+v", one)
+	}
+	if _, err := AnalyzeUsage(u, "m_404"); err == nil {
+		t.Error("unknown machine must error")
+	}
+}
+
+func TestUsageRoundTrip(t *testing.T) {
+	u, err := ParseUsage(strings.NewReader(sampleUsage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := u.WriteUsage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUsage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, ms := range u.Machines {
+		if len(back.Machines[id]) != len(ms) {
+			t.Fatalf("machine %s: %d samples, want %d", id, len(back.Machines[id]), len(ms))
+		}
+		for i := range ms {
+			if back.Machines[id][i].CPUUtil != ms[i].CPUUtil {
+				t.Fatalf("machine %s sample %d changed", id, i)
+			}
+		}
+	}
+}
+
+func TestGenerateUsageCalibration(t *testing.T) {
+	u := GenerateUsage(50, 24*3600, 300, 1)
+	st, err := AnalyzeUsage(u, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Machines != 50 {
+		t.Fatalf("machines %d", st.Machines)
+	}
+	// Paper Fig. 4a: fleet CPU averages 20–50%.
+	if st.MeanCPU < 20 || st.MeanCPU > 55 {
+		t.Fatalf("fleet mean CPU %.1f%% outside the paper's band", st.MeanCPU)
+	}
+	// Paper Fig. 4b: ≈39% of one machine's time below 10% CPU.
+	if st.LowCPUFraction < 0.25 || st.LowCPUFraction > 0.55 {
+		t.Fatalf("low-CPU fraction %.2f outside plausible band around 0.39", st.LowCPUFraction)
+	}
+	if st.MaxCPU < 90 {
+		t.Fatalf("machines should hit near-saturation, max %.1f", st.MaxCPU)
+	}
+	// Deterministic per seed.
+	again := GenerateUsage(50, 24*3600, 300, 1)
+	if again.Machines["m_1"][3] != u.Machines["m_1"][3] {
+		t.Fatal("same seed must reproduce samples")
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+)
+
+// Gallery workloads: DAG shapes beyond the paper's four benchmarks, drawn
+// from the frameworks its introduction motivates (GraphX iterative
+// algorithms, SQL multi-way joins, ETL pipelines). They exercise DAG
+// patterns the paper workloads do not — iteration unrolling, bushy join
+// trees, and mixed wide/deep pipelines — and serve as additional fixtures
+// for examples and tests.
+
+// PageRank builds an unrolled two-iteration GraphX PageRank (8 stages):
+// edge and vertex loads run in parallel, then each iteration is a
+// message-generation stage in parallel with a degree/rank bookkeeping
+// stage, joined by the rank update.
+func PageRank(ref *cluster.Cluster, scale float64) *Job {
+	s := func(r, c, w float64) PhaseSpec {
+		return PhaseSpec{ReadSec: r * scale, ComputeSec: c * scale, WriteSec: w * scale, Skew: 0.5}
+	}
+	return mustJob("PageRank", ref, []Stage{
+		{ID: 1, Name: "edges", Phases: s(90, 70, 12)},
+		{ID: 2, Name: "vertices", Phases: s(60, 40, 8)},
+		{ID: 3, Name: "degrees", Parents: []dag.StageID{1}, Phases: s(40, 60, 8)},
+		{ID: 4, Name: "messages1", Parents: []dag.StageID{1, 2}, Phases: s(70, 90, 12)},
+		{ID: 5, Name: "rankUpdate1", Parents: []dag.StageID{3, 4}, Phases: s(50, 70, 10)},
+		{ID: 6, Name: "messages2", Parents: []dag.StageID{1, 5}, Phases: s(70, 90, 12)},
+		{ID: 7, Name: "rankUpdate2", Parents: []dag.StageID{3, 6}, Phases: s(50, 70, 10)},
+		{ID: 8, Name: "collectRanks", Parents: []dag.StageID{7}, Phases: s(25, 40, 6)},
+	})
+}
+
+// SQLJoin builds a bushy three-way join query (8 stages): three table
+// scans in parallel, two hash-join builds on separate paths, the probe
+// join, an aggregation and a final sort — the classic SQL-on-Spark shape.
+func SQLJoin(ref *cluster.Cluster, scale float64) *Job {
+	s := func(r, c, w float64) PhaseSpec {
+		return PhaseSpec{ReadSec: r * scale, ComputeSec: c * scale, WriteSec: w * scale, Skew: 0.35}
+	}
+	return mustJob("SQLJoin", ref, []Stage{
+		{ID: 1, Name: "scanFact", Phases: s(130, 80, 15)},
+		{ID: 2, Name: "scanDimA", Phases: s(60, 40, 8)},
+		{ID: 3, Name: "scanDimB", Phases: s(70, 45, 8)},
+		{ID: 4, Name: "buildA", Parents: []dag.StageID{2}, Phases: s(30, 55, 8)},
+		{ID: 5, Name: "buildB", Parents: []dag.StageID{3}, Phases: s(35, 60, 8)},
+		{ID: 6, Name: "probeJoin", Parents: []dag.StageID{1, 4, 5}, Phases: s(80, 120, 18)},
+		{ID: 7, Name: "aggregate", Parents: []dag.StageID{6}, Phases: s(45, 70, 10)},
+		{ID: 8, Name: "sortLimit", Parents: []dag.StageID{7}, Phases: s(25, 35, 5)},
+	})
+}
+
+// ETL builds a log-sessionization pipeline (7 stages): raw-log and user-
+// profile scans in parallel, sessionization and enrichment on separate
+// paths, a join, then parallel quality-metrics and export stages.
+func ETL(ref *cluster.Cluster, scale float64) *Job {
+	s := func(r, c, w float64) PhaseSpec {
+		return PhaseSpec{ReadSec: r * scale, ComputeSec: c * scale, WriteSec: w * scale, Skew: 0.45}
+	}
+	return mustJob("ETL", ref, []Stage{
+		{ID: 1, Name: "scanLogs", Phases: s(110, 70, 14)},
+		{ID: 2, Name: "scanUsers", Phases: s(50, 35, 7)},
+		{ID: 3, Name: "sessionize", Parents: []dag.StageID{1}, Phases: s(55, 90, 12)},
+		{ID: 4, Name: "enrichUsers", Parents: []dag.StageID{2}, Phases: s(40, 55, 8)},
+		{ID: 5, Name: "joinSessions", Parents: []dag.StageID{3, 4}, Phases: s(65, 95, 14)},
+		{ID: 6, Name: "qualityMetrics", Parents: []dag.StageID{5}, Phases: s(30, 45, 6)},
+		{ID: 7, Name: "export", Parents: []dag.StageID{5}, Phases: s(35, 30, 20)},
+	})
+}
+
+// Gallery returns the extra workloads keyed by name.
+func Gallery(ref *cluster.Cluster, scale float64) map[string]*Job {
+	return map[string]*Job{
+		"PageRank": PageRank(ref, scale),
+		"SQLJoin":  SQLJoin(ref, scale),
+		"ETL":      ETL(ref, scale),
+	}
+}
