@@ -5,17 +5,67 @@
 //
 // Usage:
 //
-//	experiments [-scale f] [-nodes n] [-trace-jobs n] [-reps n] [-seed n] [-only fig10,table3,...]
+//	experiments [-scale f] [-nodes n] [-trace-jobs n] [-reps n] [-seed n]
+//	            [-only fig10,table3,...] [-timeout d]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"delaystage/internal/experiments"
 )
+
+// syncWriter buffers experiment output behind a mutex so a timed-out
+// experiment goroutine can keep writing while main drains what it produced
+// so far.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) drain() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.buf.String()
+	w.buf.Reset()
+	return s
+}
+
+// runGuarded runs one experiment under an optional wall-clock guard. On
+// expiry the experiment's partial output is flushed with a warning and the
+// run moves on; the abandoned goroutine keeps writing into its private
+// buffer, which is simply never read again.
+func runGuarded(name string, run func(experiments.Config) error, cfg experiments.Config, timeout time.Duration) error {
+	if timeout <= 0 {
+		return run(cfg)
+	}
+	w := &syncWriter{}
+	buffered := cfg
+	buffered.W = w
+	done := make(chan error, 1)
+	go func() { done <- run(buffered) }()
+	select {
+	case err := <-done:
+		fmt.Fprint(os.Stdout, w.drain())
+		return err
+	case <-time.After(timeout):
+		fmt.Fprint(os.Stdout, w.drain())
+		fmt.Fprintf(os.Stderr, "experiments: WARNING: %s exceeded -timeout %v; results above are partial\n", name, timeout)
+		return nil
+	}
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
@@ -23,50 +73,35 @@ func main() {
 	traceJobs := flag.Int("trace-jobs", 600, "jobs in trace-driven experiments")
 	reps := flag.Int("reps", 5, "repetitions for error bars")
 	seed := flag.Int64("seed", 1, "random seed")
-	only := flag.String("only", "", "comma-separated subset (fig2..fig17, table3, table4, a2, overhead, geo, online, sensitivity)")
+	only := flag.String("only", "", "comma-separated subset (fig2..fig17, table3, table4, a2, overhead, geo, online, sensitivity, fault)")
+	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock guard (0 = none); an experiment past it is abandoned with a partial-results warning")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Scale: *scale, Nodes: *nodes, TraceJobs: *traceJobs,
 		Reps: *reps, Seed: *seed, W: os.Stdout,
 	}
-	if *only == "" {
-		if err := experiments.All(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	runners := map[string]func(experiments.Config) error{}
+	var order []string
+	for _, r := range experiments.Runners() {
+		runners[r.Name] = r.Run
+		if r.Name != "table4" { // rendered by fig14
+			order = append(order, r.Name)
 		}
-		return
 	}
-	runners := map[string]func() error{
-		"fig2":        func() error { _, err := experiments.Fig2(cfg); return err },
-		"fig3":        func() error { _, err := experiments.Fig3(cfg); return err },
-		"fig4":        func() error { _, err := experiments.Fig4(cfg); return err },
-		"fig5":        func() error { _, err := experiments.Fig5(cfg); return err },
-		"fig6":        func() error { _, err := experiments.Fig6(cfg); return err },
-		"fig10":       func() error { _, err := experiments.Fig10(cfg); return err },
-		"fig11":       func() error { _, err := experiments.Fig11(cfg); return err },
-		"fig12":       func() error { _, err := experiments.Fig12(cfg); return err },
-		"fig13":       func() error { _, err := experiments.Fig13(cfg); return err },
-		"fig14":       func() error { _, err := experiments.Fig14(cfg); return err },
-		"fig15":       func() error { _, err := experiments.Fig15(cfg); return err },
-		"fig16":       func() error { _, err := experiments.Fig16(cfg); return err },
-		"fig17":       func() error { _, err := experiments.Fig17(cfg); return err },
-		"table3":      func() error { _, err := experiments.Table3(cfg); return err },
-		"table4":      func() error { _, err := experiments.Table4(cfg); return err },
-		"a2":          func() error { _, err := experiments.AppendixA2(cfg); return err },
-		"overhead":    func() error { _, err := experiments.Overhead(cfg); return err },
-		"geo":         func() error { _, err := experiments.GeoExtension(cfg); return err },
-		"online":      func() error { _, err := experiments.OnlineExtension(cfg); return err },
-		"sensitivity": func() error { _, err := experiments.Sensitivity(cfg); return err },
-	}
-	for _, name := range strings.Split(*only, ",") {
-		name = strings.TrimSpace(strings.ToLower(name))
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
-			os.Exit(2)
+	if *only != "" {
+		order = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			order = append(order, name)
 		}
-		if err := run(); err != nil {
+	}
+	for _, name := range order {
+		if err := runGuarded(name, runners[name], cfg, *timeout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -6,6 +6,8 @@
 //
 //	simulate [-workload TriangleCount] [-strategy delaystage|spark|aggshuffle|fuxi] [-nodes 30] [-scale 1.0]
 //	simulate -spec job.json -strategy delaystage
+//	simulate -fault-rate 0.1 -straggler-frac 0.25 -straggler-factor 3 -guarded
+//	simulate -crash-node 1 -crash-at 120 -fault-seed 7 -max-retries 4
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
+	"delaystage/internal/faults"
 	"delaystage/internal/jobspec"
 	"delaystage/internal/metrics"
 	"delaystage/internal/scheduler"
@@ -28,6 +31,14 @@ func main() {
 	nodes := flag.Int("nodes", 30, "cluster size")
 	scale := flag.Float64("scale", 1.0, "workload duration scale")
 	specPath := flag.String("spec", "", "JSON job spec (overrides -workload)")
+	faultRate := flag.Float64("fault-rate", 0, "per-partition task failure probability")
+	stragFrac := flag.Float64("straggler-frac", 0, "fraction of partitions that straggle")
+	stragFactor := flag.Float64("straggler-factor", 1, "slowdown multiplier of straggling partitions")
+	crashNode := flag.Int("crash-node", -1, "node to crash (-1 = none)")
+	crashAt := flag.Float64("crash-at", 0, "crash time in simulated seconds")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the fault injector's deterministic draws")
+	maxRetries := flag.Int("max-retries", 0, "attempts per partition before the job fails (0 = default 4)")
+	guarded := flag.Bool("guarded", false, "attach the runtime watchdog to a delaystage strategy (cancels stale delays)")
 	flag.Parse()
 
 	c := cluster.NewM4LargeCluster(*nodes)
@@ -69,15 +80,40 @@ func main() {
 	default:
 		log.Fatalf("unknown strategy %q", *stratName)
 	}
+	if *guarded {
+		ds, ok := strat.(scheduler.DelayStage)
+		if !ok {
+			log.Fatalf("-guarded requires a delaystage strategy, got %q", *stratName)
+		}
+		strat = scheduler.GuardedDelayStage{DelayStage: ds}
+	}
 
-	plan, err := strat.Plan(c, job)
+	plan := faults.FaultPlan{
+		Seed:            *faultSeed,
+		TaskFailureProb: *faultRate,
+		StragglerFrac:   *stragFrac,
+		StragglerFactor: *stragFactor,
+	}
+	if *crashNode >= 0 {
+		plan.Crashes = []faults.NodeCrash{{Node: *crashNode, At: *crashAt}}
+	}
+	inj, err := faults.NewInjector(plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(sim.Options{Cluster: c, TrackNode: 0, AggShuffle: plan.AggShuffle},
-		[]sim.JobRun{{Job: job, Delays: plan.Delays}})
+
+	p, err := strat.Plan(c, job)
 	if err != nil {
 		log.Fatal(err)
+	}
+	opt := sim.Options{Cluster: c, TrackNode: 0, AggShuffle: p.AggShuffle,
+		Faults: inj, MaxAttempts: *maxRetries, Watchdog: p.Watchdog}
+	res, err := sim.Run(opt, []sim.JobRun{{Job: job, Delays: p.Delays}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ferr := res.Failed(0); ferr != nil {
+		log.Fatalf("job failed after %d retries: %v", res.Retries, ferr)
 	}
 
 	fmt.Printf("%s under %s on %d nodes\n\n", job.Name, strat.Name(), *nodes)
@@ -104,7 +140,10 @@ func main() {
 		res.JCT(0), netMean/cluster.MB, netStd/cluster.MB, cpuMean*100, cpuStd*100)
 	fmt.Printf("cluster averages: CPU %.1f%%  net %.1f%%  disk %.1f%%  (%d events)\n",
 		res.AvgCPUUtil*100, res.AvgNetUtil*100, res.AvgDiskUtil*100, res.Events)
-	if len(plan.Delays) > 0 {
-		fmt.Printf("delays: %v\n", plan.Delays)
+	if res.Retries > 0 {
+		fmt.Printf("retries absorbed: %d\n", res.Retries)
+	}
+	if len(p.Delays) > 0 {
+		fmt.Printf("delays: %v\n", p.Delays)
 	}
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/workload"
+)
+
+// An exhausted budget must degrade to the all-zero schedule — the
+// always-feasible stock plan — and say so, instead of returning a
+// half-swept delay set.
+func TestComputeBudgetExhausted(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	job := workload.LDA(c, 0.3)
+	s, err := Compute(Options{Cluster: c, Budget: time.Nanosecond}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BudgetExceeded {
+		t.Fatal("1 ns budget not reported exceeded")
+	}
+	if len(s.Delays) != 0 {
+		t.Fatalf("budget fallback kept %d delays, want all-zeros", len(s.Delays))
+	}
+	if s.Makespan != s.StockMakespan {
+		t.Fatalf("fallback makespan %.2f != stock %.2f", s.Makespan, s.StockMakespan)
+	}
+}
+
+// A generous budget must not change the answer at all.
+func TestComputeBudgetGenerous(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	job := workload.LDA(c, 0.3)
+	free, err := Compute(Options{Cluster: c}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Compute(Options{Cluster: c, Budget: time.Hour}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.BudgetExceeded {
+		t.Fatal("1 h budget reported exceeded")
+	}
+	if !reflect.DeepEqual(free.Delays, bounded.Delays) {
+		t.Fatalf("budget changed the schedule: %v vs %v", free.Delays, bounded.Delays)
+	}
+	if free.Makespan != bounded.Makespan {
+		t.Fatalf("budget changed the makespan: %v vs %v", free.Makespan, bounded.Makespan)
+	}
+}

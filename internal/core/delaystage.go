@@ -72,6 +72,12 @@ type Options struct {
 	// theirs). An extension over the paper's single sweep; set -1 to
 	// disable and run Alg. 1 verbatim. Zero means 2 passes.
 	RefinePasses int
+	// Budget bounds the wall-clock time Alg. 1 may spend. When it runs
+	// out mid-scan the result degrades to the always-feasible all-zero
+	// schedule (stock submit-when-ready) with BudgetExceeded set — a
+	// guarded scheduler replanning at runtime must answer fast or not at
+	// all. Zero means unbounded.
+	Budget time.Duration
 }
 
 // Schedule is Alg. 1's output.
@@ -92,6 +98,9 @@ type Schedule struct {
 	ComputeTime time.Duration
 	// Evaluations counts candidate makespan evaluations performed.
 	Evaluations int
+	// BudgetExceeded reports that Options.Budget ran out and Delays is
+	// the all-zero fallback.
+	BudgetExceeded bool
 }
 
 // Evaluator predicts the completion time of the parallel region under a
@@ -186,6 +195,20 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 		opt.RefinePasses = 0
 	}
 
+	// Budget deadline: past it, every further scan aborts and the
+	// schedule degrades to all-zeros (x = 0 is always feasible).
+	var deadline time.Time
+	if opt.Budget > 0 {
+		deadline = start.Add(opt.Budget)
+	}
+	bail := func() (*Schedule, error) {
+		sched.Delays = map[dag.StageID]float64{}
+		sched.Makespan = tmax
+		sched.BudgetExceeded = true
+		sched.ComputeTime = time.Since(start)
+		return sched, nil
+	}
+
 	// First sweep (Alg. 1 lines 5–21): the active set grows path by path,
 	// so the longest path is scheduled against only itself (and keeps its
 	// stages undelayed), and each later path interleaves around the paths
@@ -204,7 +227,11 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 				continue
 			}
 			scheduled[kid] = true
-			if err := e2scan(ev, sched, solo, kid, tmax, opt, nil); err != nil {
+			switch err := e2scan(ev, sched, solo, kid, tmax, opt, nil, deadline); err {
+			case nil:
+			case errBudget:
+				return bail()
+			default:
 				return nil, err
 			}
 		}
@@ -228,7 +255,11 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 					continue
 				}
 				seen[kid] = true
-				if err := e2scan(ev, sched, solo, kid, tmax, opt, &best); err != nil {
+				switch err := e2scan(ev, sched, solo, kid, tmax, opt, &best, deadline); err {
+				case nil:
+				case errBudget:
+					return bail()
+				default:
 					return nil, err
 				}
 			}
@@ -256,12 +287,19 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 	return sched, nil
 }
 
+// errBudget aborts a scan when Options.Budget is spent.
+var errBudget = fmt.Errorf("core: compute budget exceeded")
+
 // e2scan scans the delay candidates of one stage and stores the argmin in
 // sched.Delays. When globalBest is nil the comparison baseline is the
 // active-set makespan with the stage's incumbent delay (first sweep);
-// otherwise globalBest is used and updated (refinement).
+// otherwise globalBest is used and updated (refinement). A non-zero
+// deadline makes the scan abort with errBudget once passed.
 func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
-	kid dag.StageID, tmax float64, opt Options, globalBest *float64) error {
+	kid dag.StageID, tmax float64, opt Options, globalBest *float64, deadline time.Time) error {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return errBudget
+	}
 	incumbent, had := sched.Delays[kid]
 	if !had {
 		sched.Delays[kid] = 0
@@ -284,9 +322,12 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 		upper = 0
 	}
 	bestDelay := incumbent
-	for _, x := range candidates(upper, opt.SlotSeconds, opt.MaxCandidates) {
+	for ci, x := range candidates(upper, opt.SlotSeconds, opt.MaxCandidates) {
 		if x == incumbent && had {
 			continue // already measured as base
+		}
+		if !deadline.IsZero() && ci%8 == 0 && time.Now().After(deadline) {
+			return errBudget
 		}
 		sched.Delays[kid] = x
 		mk, err := ev.Makespan(sched.Delays)

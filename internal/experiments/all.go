@@ -1,65 +1,54 @@
 package experiments
 
+// Runner couples an experiment's registry name (the cmd/experiments -only
+// key) with its entry point. Keeping the list here means All, the CLI
+// subset flag, and the per-experiment timeout guard all agree on what
+// exists.
+type Runner struct {
+	Name string
+	Run  func(Config) error
+}
+
+// Runners lists every experiment in paper order, followed by the
+// extensions. Fig14 also renders Table 4, so All skips the standalone
+// "table4" entry (it exists for -only).
+func Runners() []Runner {
+	return []Runner{
+		{"fig2", func(cfg Config) error { _, err := Fig2(cfg); return err }},
+		{"fig3", func(cfg Config) error { _, err := Fig3(cfg); return err }},
+		{"fig4", func(cfg Config) error { _, err := Fig4(cfg); return err }},
+		{"fig5", func(cfg Config) error { _, err := Fig5(cfg); return err }},
+		{"fig6", func(cfg Config) error { _, err := Fig6(cfg); return err }},
+		{"fig10", func(cfg Config) error { _, err := Fig10(cfg); return err }},
+		{"fig11", func(cfg Config) error { _, err := Fig11(cfg); return err }},
+		{"fig12", func(cfg Config) error { _, err := Fig12(cfg); return err }},
+		{"fig13", func(cfg Config) error { _, err := Fig13(cfg); return err }},
+		{"fig14", func(cfg Config) error { _, err := Fig14(cfg); return err }},
+		{"fig15", func(cfg Config) error { _, err := Fig15(cfg); return err }},
+		{"fig16", func(cfg Config) error { _, err := Fig16(cfg); return err }},
+		{"fig17", func(cfg Config) error { _, err := Fig17(cfg); return err }},
+		{"table3", func(cfg Config) error { _, err := Table3(cfg); return err }},
+		{"table4", func(cfg Config) error { _, err := Table4(cfg); return err }},
+		{"a2", func(cfg Config) error { _, err := AppendixA2(cfg); return err }},
+		{"overhead", func(cfg Config) error { _, err := Overhead(cfg); return err }},
+		{"geo", func(cfg Config) error { _, err := GeoExtension(cfg); return err }},
+		{"online", func(cfg Config) error { _, err := OnlineExtension(cfg); return err }},
+		{"sensitivity", func(cfg Config) error { _, err := Sensitivity(cfg); return err }},
+		{"fault", func(cfg Config) error { _, err := FaultSweep(cfg); return err }},
+	}
+}
+
 // All runs every experiment in paper order, rendering to cfg.W. It returns
 // the first error encountered.
 func All(cfg Config) error {
 	cfg.defaults()
-	if _, err := Fig2(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig3(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig4(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig5(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig6(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig10(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig11(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig12(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig13(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig14(cfg); err != nil { // also renders Table 4
-		return err
-	}
-	if _, err := Fig15(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig16(cfg); err != nil {
-		return err
-	}
-	if _, err := Fig17(cfg); err != nil {
-		return err
-	}
-	if _, err := Table3(cfg); err != nil {
-		return err
-	}
-	if _, err := AppendixA2(cfg); err != nil {
-		return err
-	}
-	if _, err := Overhead(cfg); err != nil {
-		return err
-	}
-	if _, err := GeoExtension(cfg); err != nil {
-		return err
-	}
-	if _, err := OnlineExtension(cfg); err != nil {
-		return err
-	}
-	if _, err := Sensitivity(cfg); err != nil {
-		return err
+	for _, r := range Runners() {
+		if r.Name == "table4" { // rendered by fig14
+			continue
+		}
+		if err := r.Run(cfg); err != nil {
+			return err
+		}
 	}
 	return nil
 }

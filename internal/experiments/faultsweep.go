@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"delaystage/internal/faults"
+	"delaystage/internal/scheduler"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+// FaultPoint is one cell of the fault sweep: the injected severity plus
+// the measured JCT of every strategy on every workload.
+type FaultPoint struct {
+	FailProb        float64
+	StragglerFrac   float64
+	StragglerFactor float64
+	// CrashFrac > 0 crashes node 1 at CrashFrac × the workload's
+	// fault-free Spark JCT.
+	CrashFrac float64
+	// JCT[workload][strategy] in seconds. Strategies: "spark",
+	// "delaystage", "guarded".
+	JCT map[string]map[string]float64
+}
+
+// FaultSweepResult is the full grid.
+type FaultSweepResult struct {
+	Points []FaultPoint
+	// MispredictNoise is the planning-time profile error applied to the
+	// DelayStage variants (spark plans nothing, so it is immune).
+	MispredictNoise float64
+}
+
+// faultSweepGrid is the swept (failure rate, straggler severity, node
+// crash) grid. crashFrac > 0 crashes node 1 at that fraction of the
+// workload's fault-free Spark JCT — late enough that stock Spark has
+// consumed most parent outputs, so the recomputation bill lands hardest
+// on plans still holding stages back.
+var faultSweepGrid = []struct {
+	failProb, frac, factor, crashFrac float64
+}{
+	{0, 0, 1, 0},
+	{0.05, 0, 1, 0},
+	{0.15, 0, 1, 0},
+	{0, 0.25, 3, 0},
+	{0.05, 0.25, 3, 0},
+	{0.15, 0.25, 3, 0},
+	{0, 0, 1, 0.65},
+	{0.05, 0.25, 3, 0.55},
+}
+
+// FaultSweep measures how the strategies degrade when the perfect-world
+// assumptions behind Alg. 1 break: profiled R_k/s_k/d_k are wrong at
+// planning time (misprediction noise), and at runtime tasks fail and
+// partitions straggle. Stock Spark plans nothing, so it only pays the
+// faults; open-loop DelayStage additionally pays for delays computed from
+// stale numbers; guarded DelayStage watches the plan and degrades to
+// submit-when-ready the moment it stops tracking reality. The paper's
+// never-worse claim (Sec. 4) only survives faults in the guarded form —
+// this sweep is the evidence.
+func FaultSweep(cfg Config) (*FaultSweepResult, error) {
+	cfg.defaults()
+	c := cfg.cluster()
+	jobs := workload.PaperWorkloads(c, cfg.Scale)
+	out := &FaultSweepResult{MispredictNoise: 0.5}
+
+	// Planning sees noisy profiles: one seeded rng, workloads in fixed
+	// order, so the whole sweep reproduces from cfg.Seed.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	noise, err := faults.NewInjector(faults.FaultPlan{Seed: cfg.Seed, MispredictNoise: out.MispredictNoise})
+	if err != nil {
+		return nil, err
+	}
+	type planned struct {
+		believed *workload.Job // the noisy job the planner saw
+		ds       scheduler.Plan
+	}
+	plans := map[string]planned{}
+	cleanJCT := map[string]float64{}
+	for _, name := range workloadNames {
+		believed := noise.PerturbJob(rng, jobs[name])
+		ds, err := scheduler.DelayStage{}.Plan(c, believed)
+		if err != nil {
+			return nil, err
+		}
+		plans[name] = planned{believed: believed, ds: ds}
+		clean, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1},
+			[]sim.JobRun{{Job: jobs[name]}})
+		if err != nil {
+			return nil, err
+		}
+		cleanJCT[name] = clean.JCT(0)
+	}
+
+	fprintf(cfg.W, "FAULT sweep: JCT (s) under task failures and stragglers, planning noise ±%.0f%%\n",
+		100*out.MispredictNoise)
+	fprintf(cfg.W, "%-26s %-10s %-10s %-10s %-10s\n", "point / workload", "spark", "delaystage", "guarded", "guard-win%")
+
+	for pi, g := range faultSweepGrid {
+		pt := FaultPoint{FailProb: g.failProb, StragglerFrac: g.frac, StragglerFactor: g.factor,
+			CrashFrac: g.crashFrac, JCT: map[string]map[string]float64{}}
+		fprintf(cfg.W, "fail=%.2f straggle=%.2fx%g crash=%.2f\n", g.failProb, g.frac, g.factor, g.crashFrac)
+		for _, name := range workloadNames {
+			job := jobs[name]
+			pl := plans[name]
+			row := map[string]float64{}
+			var crashes []faults.NodeCrash
+			if g.crashFrac > 0 {
+				crashes = []faults.NodeCrash{{Node: 1, At: g.crashFrac * cleanJCT[name]}}
+			}
+			for _, label := range []string{"spark", "delaystage", "guarded"} {
+				// The same hash-seeded injector for all strategies: every
+				// run sees the identical fault set.
+				inj, err := faults.NewInjector(faults.FaultPlan{
+					Seed:            cfg.Seed + int64(pi)*101,
+					TaskFailureProb: g.failProb,
+					StragglerFrac:   g.frac,
+					StragglerFactor: g.factor,
+					Crashes:         crashes,
+				})
+				if err != nil {
+					return nil, err
+				}
+				opt := sim.Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8}
+				run := sim.JobRun{Job: job}
+				switch label {
+				case "delaystage":
+					run.Delays = pl.ds.Delays
+				case "guarded":
+					run.Delays = pl.ds.Delays
+					// Guards are stateful: a fresh one per run, primed with
+					// the (noisy) profiles the planner believed.
+					wd, err := scheduler.GuardedDelayStage{}.WatchdogFor(c, pl.believed, pl.ds)
+					if err != nil {
+						return nil, err
+					}
+					opt.Watchdog = wd
+				}
+				res, err := sim.Run(opt, []sim.JobRun{run})
+				if err != nil {
+					return nil, err
+				}
+				if ferr := res.Failed(0); ferr != nil {
+					return nil, ferr
+				}
+				row[label] = res.JCT(0)
+			}
+			pt.JCT[name] = row
+			win := 100 * (row["spark"] - row["guarded"]) / row["spark"]
+			fprintf(cfg.W, "  %-24s %-10.1f %-10.1f %-10.1f %+.1f\n",
+				name, row["spark"], row["delaystage"], row["guarded"], win)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}

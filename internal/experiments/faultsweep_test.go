@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sweep's acceptance bar: the guarded strategy never loses more than
+// 2% to stock Spark at any swept severity (the never-worse claim survives
+// faults), while open-loop DelayStage — planning from mispredicted
+// profiles and never revisiting its delays — loses to Spark somewhere.
+func TestFaultSweep(t *testing.T) {
+	var sb strings.Builder
+	cfg := testCfg()
+	cfg.W = &sb
+	r, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(faultSweepGrid) {
+		t.Fatalf("got %d points, want %d", len(r.Points), len(faultSweepGrid))
+	}
+	unguardedLoses := false
+	for _, p := range r.Points {
+		for wl, row := range p.JCT {
+			spark, ds, g := row["spark"], row["delaystage"], row["guarded"]
+			if spark <= 0 || ds <= 0 || g <= 0 {
+				t.Fatalf("fail=%.2f %s: non-positive JCT %+v", p.FailProb, wl, row)
+			}
+			if g > spark*1.02 {
+				t.Errorf("fail=%.2f straggle=%.2fx%g %s: guarded %.1f worse than spark %.1f beyond 2%%",
+					p.FailProb, p.StragglerFrac, p.StragglerFactor, wl, g, spark)
+			}
+			if ds > spark*1.001 {
+				unguardedLoses = true
+			}
+		}
+	}
+	if !unguardedLoses {
+		t.Error("open-loop DelayStage never lost to Spark at any swept point — the guard has nothing to guard against")
+	}
+	if !strings.Contains(sb.String(), "FAULT sweep") {
+		t.Error("sweep rendered no output")
+	}
+}
+
+func BenchmarkFaultSweep(b *testing.B) {
+	cfg := testCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := FaultSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package faults is the deterministic fault-injection layer of the
+// reproduction. The simulator and Alg. 1 assume a perfect world — every
+// stage runs exactly as profiled and a delay schedule computed up front
+// stays valid to the end — but the paper's pitch is deciding *when* to
+// submit work on a real cluster, where tasks fail, nodes crash and
+// profiled R_k/s_k/d_k are wrong (cf. Graphene's uncertainty budgeting and
+// Beránek et al.'s finding that scheduler rankings flip once simulations
+// include failures; see PAPERS.md).
+//
+// An Injector is built from a FaultPlan and hands the simulator
+// reproducible fault events. All per-task draws are *hash-based* — a
+// deterministic function of (seed, job, stage, node, attempt) — rather
+// than consumed from a stream, so the same plan yields the same faults
+// regardless of the event order a particular schedule produces. That is
+// what makes spark / delaystage / guarded-delaystage comparisons under
+// faults apples-to-apples: every strategy sees the identical failure set.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"delaystage/internal/workload"
+)
+
+// NodeCrash schedules the loss of one node's executors and local state
+// (in-flight tasks plus the shuffle outputs stored on its disks) at an
+// absolute simulation time. The node itself returns immediately — Spark
+// on EC2 replaces the executor within seconds — but everything it held
+// must be re-run or recomputed.
+type NodeCrash struct {
+	Node int
+	At   float64
+}
+
+// FaultPlan describes the perturbations of one run. The zero value is the
+// perfect world: a simulator driven by a zero plan behaves bit-identically
+// to one with no injector at all (pay-for-what-you-use).
+type FaultPlan struct {
+	// Seed drives every hash-based draw.
+	Seed int64
+	// TaskFailureProb is the probability that one compute-task attempt
+	// (one stage-partition on one node) dies partway through its work.
+	TaskFailureProb float64
+	// StragglerFrac is the fraction of stage-partitions that straggle;
+	// StragglerFactor (≥1) divides a straggler's processing rate.
+	StragglerFrac   float64
+	StragglerFactor float64
+	// MispredictNoise is the maximum relative error PerturbJob applies to
+	// each profiled parameter (R_k, s_k, d_k), uniform in [−n, +n].
+	MispredictNoise float64
+	// Crashes lists scheduled node losses.
+	Crashes []NodeCrash
+}
+
+// Validate rejects plans the simulator cannot honour.
+func (p FaultPlan) Validate() error {
+	if p.TaskFailureProb < 0 || p.TaskFailureProb > 1 || math.IsNaN(p.TaskFailureProb) {
+		return fmt.Errorf("faults: task failure prob %v outside [0,1]", p.TaskFailureProb)
+	}
+	if p.StragglerFrac < 0 || p.StragglerFrac > 1 || math.IsNaN(p.StragglerFrac) {
+		return fmt.Errorf("faults: straggler fraction %v outside [0,1]", p.StragglerFrac)
+	}
+	if p.StragglerFrac > 0 && (p.StragglerFactor < 1 || math.IsNaN(p.StragglerFactor)) {
+		return fmt.Errorf("faults: straggler factor %v must be ≥1", p.StragglerFactor)
+	}
+	if p.MispredictNoise < 0 || p.MispredictNoise >= 1 {
+		return fmt.Errorf("faults: misprediction noise %v outside [0,1)", p.MispredictNoise)
+	}
+	for _, c := range p.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("faults: crash of negative node %d", c.Node)
+		}
+		if c.At < 0 || math.IsNaN(c.At) || math.IsInf(c.At, 0) {
+			return fmt.Errorf("faults: crash at invalid time %v", c.At)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the plan injects nothing.
+func (p FaultPlan) Zero() bool {
+	return p.TaskFailureProb == 0 && p.StragglerFrac == 0 &&
+		p.MispredictNoise == 0 && len(p.Crashes) == 0
+}
+
+// Injector emits reproducible fault events for one run.
+type Injector struct {
+	plan FaultPlan
+}
+
+// NewInjector validates the plan and builds an injector.
+func NewInjector(plan FaultPlan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: plan}, nil
+}
+
+// Plan returns the plan the injector was built from.
+func (in *Injector) Plan() FaultPlan { return in.plan }
+
+// Crashes returns the scheduled node crashes in time order.
+func (in *Injector) Crashes() []NodeCrash {
+	out := append([]NodeCrash(nil), in.plan.Crashes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Draw kinds — mixed into the hash so the failure, fail-point and
+// straggler draws of the same task are independent.
+const (
+	kindTaskFail = iota + 1
+	kindFailPoint
+	kindStraggle
+)
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps (seed, kind, job, stage, node, attempt) to a uniform in [0,1).
+func (in *Injector) u01(kind, job, stage, node, attempt int) float64 {
+	h := splitmix64(uint64(in.plan.Seed))
+	for _, v := range [...]int{kind, job, stage, node, attempt} {
+		h = splitmix64(h ^ uint64(int64(v)))
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// TaskFailure decides whether the given compute-task attempt fails and, if
+// so, after what fraction of its work (in (0, 0.95]): tasks rarely die at
+// the very start, and never exactly at completion.
+func (in *Injector) TaskFailure(job, stage, node, attempt int) (failFrac float64, fails bool) {
+	if in == nil || in.plan.TaskFailureProb == 0 {
+		return 0, false
+	}
+	if in.u01(kindTaskFail, job, stage, node, attempt) >= in.plan.TaskFailureProb {
+		return 0, false
+	}
+	return 0.05 + 0.90*in.u01(kindFailPoint, job, stage, node, attempt), true
+}
+
+// Straggler returns the processing-rate slowdown of a stage-partition
+// (1 = healthy). The draw is per-partition, not per-attempt: a slow node
+// stays slow across retries, as machine-level stragglers do.
+func (in *Injector) Straggler(job, stage, node int) float64 {
+	if in == nil || in.plan.StragglerFrac == 0 {
+		return 1
+	}
+	if in.u01(kindStraggle, job, stage, node, 0) >= in.plan.StragglerFrac {
+		return 1
+	}
+	return in.plan.StragglerFactor
+}
+
+// PerturbJob returns a clone of j whose profiled parameters carry the
+// plan's misprediction noise: R_k, s_k and d_k each off by a uniform
+// relative error in [−MispredictNoise, +MispredictNoise]. The rng is
+// passed in (rather than owned) so one seeded *rand.Rand can drive
+// profiler noise, trace generation and fault injection in a single
+// experiment — reproducible from one -seed flag.
+func (in *Injector) PerturbJob(rng *rand.Rand, j *workload.Job) *workload.Job {
+	n := in.plan.MispredictNoise
+	out := j.Clone()
+	if n == 0 {
+		return out
+	}
+	perturb := func(v float64) float64 { return v * (1 + (rng.Float64()*2-1)*n) }
+	for _, id := range out.Graph.Stages() {
+		p := out.Profiles[id]
+		p.ShuffleIn = int64(perturb(float64(p.ShuffleIn)))
+		p.ShuffleOut = int64(perturb(float64(p.ShuffleOut)))
+		p.ProcRate = perturb(p.ProcRate)
+		if p.ShuffleIn < 1 {
+			p.ShuffleIn = 1
+		}
+		if p.ShuffleOut < 0 {
+			p.ShuffleOut = 0
+		}
+		if p.ProcRate <= 0 {
+			p.ProcRate = 1
+		}
+		out.Profiles[id] = p
+	}
+	return out
+}

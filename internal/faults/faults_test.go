@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/workload"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{TaskFailureProb: -0.1},
+		{TaskFailureProb: 1.5},
+		{StragglerFrac: 2},
+		{StragglerFrac: 0.5, StragglerFactor: 0.5},
+		{MispredictNoise: 1},
+		{Crashes: []NodeCrash{{Node: -1, At: 5}}},
+		{Crashes: []NodeCrash{{Node: 0, At: math.Inf(1)}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d (%+v) should not validate", i, p)
+		}
+	}
+	good := FaultPlan{TaskFailureProb: 0.1, StragglerFrac: 0.2, StragglerFactor: 3,
+		MispredictNoise: 0.3, Crashes: []NodeCrash{{Node: 2, At: 10}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	if good.Zero() {
+		t.Fatal("non-empty plan reported Zero")
+	}
+	if !(FaultPlan{Seed: 42}).Zero() {
+		t.Fatal("empty plan (seed only) must be Zero")
+	}
+}
+
+// Draws must be a pure function of (seed, identifiers): two injectors with
+// the same plan agree everywhere; changing the seed changes the outcome.
+func TestDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 7, TaskFailureProb: 0.3, StragglerFrac: 0.25, StragglerFactor: 2.5}
+	a, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(plan)
+	plan.Seed = 8
+	c, _ := NewInjector(plan)
+	same, diff := 0, 0
+	for job := 0; job < 3; job++ {
+		for stage := 0; stage < 10; stage++ {
+			for node := 0; node < 5; node++ {
+				for att := 1; att <= 3; att++ {
+					fa, oka := a.TaskFailure(job, stage, node, att)
+					fb, okb := b.TaskFailure(job, stage, node, att)
+					if fa != fb || oka != okb {
+						t.Fatalf("same-plan injectors disagree at %d/%d/%d/%d", job, stage, node, att)
+					}
+					fc, okc := c.TaskFailure(job, stage, node, att)
+					if oka == okc && fa == fc {
+						same++
+					} else {
+						diff++
+					}
+					if oka && (fa <= 0 || fa > 0.95) {
+						t.Fatalf("fail fraction %v outside (0, 0.95]", fa)
+					}
+				}
+				if a.Straggler(job, stage, node) != b.Straggler(job, stage, node) {
+					t.Fatal("straggler draw not deterministic")
+				}
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed nothing")
+	}
+	_ = same
+}
+
+// The empirical failure rate must track the configured probability, and
+// attempts must be independent draws (a retried task can fail again).
+func TestFailureRate(t *testing.T) {
+	in, err := NewInjector(FaultPlan{Seed: 3, TaskFailureProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, fails := 0, 0
+	for stage := 0; stage < 100; stage++ {
+		for node := 0; node < 30; node++ {
+			n++
+			if _, ok := in.TaskFailure(0, stage, node, 1); ok {
+				fails++
+			}
+		}
+	}
+	rate := float64(fails) / float64(n)
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("empirical failure rate %.3f far from configured 0.2", rate)
+	}
+	// nil / zero injectors never fire.
+	var nilInj *Injector
+	if _, ok := nilInj.TaskFailure(0, 0, 0, 1); ok {
+		t.Fatal("nil injector fired")
+	}
+	if nilInj.Straggler(0, 0, 0) != 1 {
+		t.Fatal("nil injector straggles")
+	}
+}
+
+func TestStragglerFraction(t *testing.T) {
+	in, _ := NewInjector(FaultPlan{Seed: 5, StragglerFrac: 0.25, StragglerFactor: 3})
+	n, slow := 0, 0
+	for stage := 0; stage < 100; stage++ {
+		for node := 0; node < 30; node++ {
+			n++
+			f := in.Straggler(0, stage, node)
+			if f != 1 && f != 3 {
+				t.Fatalf("straggler factor %v is neither 1 nor 3", f)
+			}
+			if f > 1 {
+				slow++
+			}
+		}
+	}
+	frac := float64(slow) / float64(n)
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("empirical straggler fraction %.3f far from configured 0.25", frac)
+	}
+}
+
+func TestPerturbJob(t *testing.T) {
+	c := cluster.NewM4LargeCluster(4)
+	job := workload.PaperWorkloads(c, 0.2)["LDA"]
+	in, _ := NewInjector(FaultPlan{Seed: 1, MispredictNoise: 0.3})
+	rng := rand.New(rand.NewSource(9))
+	noisy := in.PerturbJob(rng, job)
+	if err := noisy.Validate(); err != nil {
+		t.Fatalf("perturbed job invalid: %v", err)
+	}
+	changed := false
+	for _, id := range job.Graph.Stages() {
+		tp, np := job.Profiles[id], noisy.Profiles[id]
+		if tp.ProcRate != np.ProcRate || tp.ShuffleIn != np.ShuffleIn {
+			changed = true
+		}
+		if r := np.ProcRate / tp.ProcRate; r < 0.69 || r > 1.31 {
+			t.Fatalf("stage %d rate perturbed by %.2f, want within ±30%%", id, r)
+		}
+	}
+	if !changed {
+		t.Fatal("±30%% noise changed nothing")
+	}
+	// Zero-noise perturbation is the identity.
+	zin, _ := NewInjector(FaultPlan{Seed: 1})
+	same := zin.PerturbJob(rng, job)
+	for _, id := range job.Graph.Stages() {
+		if job.Profiles[id] != same.Profiles[id] {
+			t.Fatal("zero-noise PerturbJob altered a profile")
+		}
+	}
+}

@@ -30,7 +30,12 @@ type Options struct {
 	// Noise is the maximum relative error applied to each extracted
 	// parameter, uniform in [−Noise, +Noise] (default 0.05).
 	Noise float64
-	Seed  int64
+	// Seed seeds a private noise source. Ignored when Rng is set.
+	Seed int64
+	// Rng, when non-nil, draws the measurement noise. Callers composing a
+	// larger reproducible pipeline pass one seeded *rand.Rand through every
+	// stochastic component instead of scattering seeds.
+	Rng *rand.Rand
 	// TargetParallelism is the executor count of the production cluster
 	// the job is sized for. The profiling executor processes one
 	// partition's share of the sample — running the whole 10% sample
@@ -99,7 +104,10 @@ func ProfileJob(j *workload.Job, opt Options) (*Profile, error) {
 	}
 
 	// Extract parameters with measurement noise and scale back up.
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
 	perturb := func(v float64) float64 {
 		return v * (1 + (rng.Float64()*2-1)*opt.Noise)
 	}

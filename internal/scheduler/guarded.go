@@ -1,0 +1,254 @@
+package scheduler
+
+import (
+	"math"
+	"time"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/core"
+	"delaystage/internal/dag"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+// GuardMode selects what a tripped guard does with the rest of the plan.
+type GuardMode int
+
+const (
+	// GuardCancel zeroes every not-yet-submitted delay: the job degrades
+	// to stock Spark submit-when-ready, DelayStage's always-feasible
+	// fallback.
+	GuardCancel GuardMode = iota
+	// GuardReplan re-runs Alg. 1 on profiles rescaled by the observed /
+	// predicted runtime ratio, under a wall-clock budget; if the budget is
+	// spent (or nothing was observed yet) it degrades to GuardCancel.
+	GuardReplan
+)
+
+// GuardedDelayStage is DelayStage with a runtime watchdog. Alg. 1's delay
+// schedule is computed from profiled R_k/s_k/d_k and assumes the predicted
+// per-stage completion times t̂_k hold; on a faulty cluster they do not.
+// The guard compares each observed stage completion against the plan's
+// prediction: on drift beyond DriftTolerance — or on any task failure —
+// it stops trusting the remaining delays and either cancels them or
+// replans the unsubmitted suffix (Mode). A fault-free run never trips the
+// guard and is byte-identical to plain DelayStage.
+type GuardedDelayStage struct {
+	DelayStage
+	// Mode picks the reaction to a stale plan (default GuardCancel).
+	Mode GuardMode
+	// DriftTolerance is the relative deviation of an observed stage
+	// completion from its prediction that trips the guard. Zero means
+	// 0.15.
+	DriftTolerance float64
+	// ReplanBudget bounds the wall-clock time a GuardReplan recomputation
+	// may take (it runs inside the scheduler's event loop). Zero means
+	// 100 ms.
+	ReplanBudget time.Duration
+}
+
+// Name implements Strategy.
+func (g GuardedDelayStage) Name() string {
+	n := "Guarded" + g.DelayStage.Name()
+	if g.Mode == GuardReplan {
+		n += "-replan"
+	}
+	return n
+}
+
+// Plan implements Strategy: the inner DelayStage plan plus a watchdog
+// primed with the plan's predicted per-stage timelines.
+func (g GuardedDelayStage) Plan(c *cluster.Cluster, job *workload.Job) (Plan, error) {
+	plan, err := g.DelayStage.Plan(c, job)
+	if err != nil {
+		return Plan{}, err
+	}
+	wd, err := g.WatchdogFor(c, job, plan)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.Watchdog = wd
+	return plan, nil
+}
+
+// WatchdogFor builds a fresh guard for an existing DelayStage plan of job
+// (profiles as the planner believed them). Guards are stateful — one per
+// simulation run; callers replaying the same plan under many fault plans
+// plan once and take a new watchdog per run. Returns nil when the plan
+// delays nothing: submit-when-ready needs no guarding.
+func (g GuardedDelayStage) WatchdogFor(c *cluster.Cluster, job *workload.Job, plan Plan) (sim.Watchdog, error) {
+	if len(plan.Delays) == 0 {
+		return nil, nil
+	}
+	// Predict the per-stage timelines the plan promises: a fault-free
+	// what-if run of this job alone under the planned delays.
+	pred, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1},
+		[]sim.JobRun{{Job: job, Delays: plan.Delays}})
+	if err != nil {
+		return nil, err
+	}
+	gd := &guard{
+		mode:    g.Mode,
+		tol:     g.DriftTolerance,
+		budget:  g.ReplanBudget,
+		cluster: c,
+		job:     job,
+		inner:   g.DelayStage,
+		delays:  make(map[dag.StageID]float64, len(plan.Delays)),
+		pred:    make(map[dag.StageID]sim.StageTimeline, len(pred.Timelines)),
+	}
+	if gd.tol <= 0 {
+		gd.tol = 0.15
+	}
+	if gd.budget <= 0 {
+		gd.budget = 100 * time.Millisecond
+	}
+	for id, d := range plan.Delays {
+		gd.delays[id] = d
+	}
+	for _, tl := range pred.Timelines {
+		gd.pred[tl.Stage] = tl
+	}
+	return gd, nil
+}
+
+// guard is the runtime watchdog of one job's plan. The simulator calls it
+// synchronously from the event loop, so no locking is needed.
+type guard struct {
+	mode    GuardMode
+	tol     float64
+	budget  time.Duration
+	cluster *cluster.Cluster
+	job     *workload.Job
+	inner   DelayStage
+	delays  map[dag.StageID]float64
+	pred    map[dag.StageID]sim.StageTimeline
+
+	done      bool
+	completed map[dag.StageID]bool
+	obsDur    float64 // Σ observed stage execution times (End − Start)
+	predDur   float64 // Σ predicted, over the same stages
+}
+
+// StageReadCompleted implements sim.Watchdog: the shuffle read is the
+// first phase whose end can be checked against the plan — catching a
+// stale plan here lets the guard revoke delays that would have committed
+// before the first full stage completion.
+func (g *guard) StageReadCompleted(ev sim.WatchEvent) []sim.DelayUpdate {
+	if g.done {
+		return nil
+	}
+	p, ok := g.pred[ev.Stage]
+	if !ok {
+		return nil
+	}
+	g.obsDur += ev.Timeline.ReadEnd - ev.Timeline.Start
+	g.predDur += p.ReadEnd - p.Start
+	return g.check(ev.Job, ev.Timeline.ReadEnd-ev.JobStart, p.ReadEnd, ev.Retries)
+}
+
+// StageCompleted implements sim.Watchdog: observed completion vs t̂_k.
+func (g *guard) StageCompleted(ev sim.WatchEvent) []sim.DelayUpdate {
+	if g.done {
+		return nil
+	}
+	if g.completed == nil {
+		g.completed = map[dag.StageID]bool{}
+	}
+	g.completed[ev.Stage] = true
+	p, ok := g.pred[ev.Stage]
+	if !ok {
+		return nil
+	}
+	g.obsDur += ev.Timeline.End - ev.Timeline.Start
+	g.predDur += p.End - p.Start
+	return g.check(ev.Job, ev.Timeline.End-ev.JobStart, p.End, ev.Retries)
+}
+
+// check compares one observed milestone against its prediction and, past
+// the tolerance (or on any absorbed retry), trips the guard.
+func (g *guard) check(job int, obs, pred float64, retries int) []sim.DelayUpdate {
+	drift := math.Abs(obs-pred) / math.Max(pred, 1e-9)
+	if retries == 0 && drift <= g.tol {
+		return nil
+	}
+	g.done = true
+	if retries > 0 || g.mode == GuardCancel {
+		// Failures make timing unpredictable: replanning against a plan
+		// that can lose arbitrary work is guesswork, so both modes take
+		// the safe exit and degrade to submit-when-ready.
+		return g.cancel(job)
+	}
+	return g.replan(job)
+}
+
+// TaskRetried implements sim.Watchdog: any lost partition voids the plan's
+// timing premises — degrade to submit-when-ready immediately rather than
+// holding stages for a schedule computed for a cluster that no longer
+// exists.
+func (g *guard) TaskRetried(job int, _ dag.StageID, _, _ int, _ float64) []sim.DelayUpdate {
+	if g.done {
+		return nil
+	}
+	g.done = true
+	return g.cancel(job)
+}
+
+// cancel zeroes every planned delay (the engine ignores updates for
+// already-submitted stages).
+func (g *guard) cancel(job int) []sim.DelayUpdate {
+	out := make([]sim.DelayUpdate, 0, len(g.delays))
+	for _, id := range sortedStageIDs(g.delays) {
+		out = append(out, sim.DelayUpdate{Job: job, Stage: id, Delay: 0})
+	}
+	return out
+}
+
+// replan reruns Alg. 1 with profiles rescaled by the observed slowdown,
+// under the wall-clock budget; the unsubmitted suffix gets the fresh
+// delays. Any failure to produce a better answer in time degrades to
+// cancel.
+func (g *guard) replan(job int) []sim.DelayUpdate {
+	scale := 1.0
+	if g.predDur > 1e-9 && g.obsDur > 1e-9 {
+		scale = g.obsDur / g.predDur
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return g.cancel(job)
+	}
+	scaled := g.job.Clone()
+	for _, id := range scaled.Graph.Stages() {
+		p := scaled.Profiles[id]
+		p.ProcRate /= scale
+		scaled.Profiles[id] = p
+	}
+	s, err := core.Compute(core.Options{
+		Cluster:           g.cluster,
+		Order:             g.inner.Order,
+		Seed:              g.inner.Seed,
+		UseModelEvaluator: g.inner.UseModelEvaluator,
+		SlotSeconds:       g.inner.SlotSeconds,
+		MaxCandidates:     g.inner.MaxCandidates,
+		Budget:            g.budget,
+	}, scaled)
+	if err != nil || s.BudgetExceeded {
+		return g.cancel(job)
+	}
+	// Revise every stage the old or new plan delays; completed stages
+	// are skipped (and submitted ones ignored by the engine anyway).
+	union := make(map[dag.StageID]float64, len(g.delays))
+	for id := range g.delays {
+		union[id] = s.Delays[id]
+	}
+	for id, d := range s.Delays {
+		union[id] = d
+	}
+	out := make([]sim.DelayUpdate, 0, len(union))
+	for _, id := range sortedStageIDs(union) {
+		if g.completed[id] {
+			continue
+		}
+		out = append(out, sim.DelayUpdate{Job: job, Stage: id, Delay: union[id]})
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/faults"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+func TestGuardedNames(t *testing.T) {
+	if got := (GuardedDelayStage{}).Name(); got != "GuardedDelayStage" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (GuardedDelayStage{Mode: GuardReplan}).Name(); got != "GuardedDelayStage-replan" {
+		t.Errorf("replan Name = %q", got)
+	}
+}
+
+// On a fault-free cluster the guard never trips: guarded DelayStage and
+// plain DelayStage produce the exact same run.
+func TestGuardedFaultFreeMatchesDelayStage(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	for _, mode := range []GuardMode{GuardCancel, GuardReplan} {
+		for name, job := range workload.PaperWorkloads(c, 0.3) {
+			plain, err := RunJob(c, job, DelayStage{}, sim.Options{TrackNode: -1})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			guarded, err := RunJob(c, job, GuardedDelayStage{Mode: mode}, sim.Options{TrackNode: -1})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if plain.JCT(0) != guarded.JCT(0) {
+				t.Errorf("%s mode %d: guarded JCT %.4f != plain %.4f",
+					name, mode, guarded.JCT(0), plain.JCT(0))
+			}
+		}
+	}
+}
+
+// Under task failures the guard must degrade toward submit-when-ready:
+// the guarded run completes and stays close to stock Spark, which is the
+// always-feasible floor the paper's never-worse argument rests on.
+func TestGuardedDegradesUnderFailures(t *testing.T) {
+	c := cluster.NewM4LargeCluster(8)
+	job := workload.PaperWorkloads(c, 0.3)["LDA"]
+	plan := faults.FaultPlan{Seed: 13, TaskFailureProb: 0.2, StragglerFrac: 0.25, StragglerFactor: 3}
+	mk := func() *faults.Injector {
+		in, err := faults.NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	spark, err := RunJob(c, job, Spark{}, sim.Options{TrackNode: -1, Faults: mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spark.Failed(0) != nil {
+		t.Fatalf("spark run failed: %v", spark.Failed(0))
+	}
+	for _, mode := range []GuardMode{GuardCancel, GuardReplan} {
+		g, err := RunJob(c, job, GuardedDelayStage{Mode: mode}, sim.Options{TrackNode: -1, Faults: mk()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Failed(0) != nil {
+			t.Fatalf("guarded mode %d failed: %v", mode, g.Failed(0))
+		}
+		if g.JCT(0) > spark.JCT(0)*1.05 {
+			t.Errorf("guarded mode %d JCT %.1f much worse than spark %.1f",
+				mode, g.JCT(0), spark.JCT(0))
+		}
+	}
+}
+
+// The mux watchdog must route multi-job events to the right per-job
+// guard: with non-overlapping arrivals there is no cross-job contention,
+// no prediction drift, and the guarded replay matches plain DelayStage
+// exactly. (Overlapping jobs legitimately trip the guard — the solo-run
+// prediction is stale under contention.)
+func TestGuardedRunJobs(t *testing.T) {
+	c := cluster.NewM4LargeCluster(8)
+	w := workload.PaperWorkloads(c, 0.3)
+	jobs := []*workload.Job{w["LDA"], w["CosineSimilarity"]}
+	arr := []float64{0, 2000}
+	plain, err := RunJobs(c, jobs, arr, DelayStage{}, sim.Options{TrackNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := RunJobs(c, jobs, arr, GuardedDelayStage{}, sim.Options{TrackNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if plain.JCT(i) != guarded.JCT(i) {
+			t.Errorf("job %d: guarded JCT %.4f != plain %.4f", i, guarded.JCT(i), plain.JCT(i))
+		}
+	}
+}
+
+// A replan with an exhausted budget must fall back to cancel — never
+// hang or emit garbage.
+func TestGuardReplanBudgetFallsBack(t *testing.T) {
+	c := cluster.NewM4LargeCluster(8)
+	job := workload.PaperWorkloads(c, 0.3)["TriangleCount"]
+	in, _ := faults.NewInjector(faults.FaultPlan{Seed: 21, StragglerFrac: 0.4, StragglerFactor: 5})
+	g, err := RunJob(c, job, GuardedDelayStage{Mode: GuardReplan, ReplanBudget: time.Nanosecond},
+		sim.Options{TrackNode: -1, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Failed(0) != nil {
+		t.Fatalf("run failed: %v", g.Failed(0))
+	}
+	spark, err := RunJob(c, job, Spark{}, sim.Options{TrackNode: -1, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.JCT(0) > spark.JCT(0)*1.05 {
+		t.Errorf("budget-exhausted replan JCT %.1f much worse than spark %.1f", g.JCT(0), spark.JCT(0))
+	}
+}

@@ -7,6 +7,7 @@ package scheduler
 
 import (
 	"fmt"
+	"sort"
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
@@ -23,6 +24,10 @@ type Plan struct {
 	// Schedule carries DelayStage's full Alg. 1 output when the strategy
 	// is a DelayStage variant (nil otherwise).
 	Schedule *core.Schedule
+	// Watchdog is the runtime plan monitor a guarded strategy attaches
+	// (nil for open-loop strategies). RunJob / RunJobs hand it to the
+	// simulator.
+	Watchdog sim.Watchdog
 }
 
 // Strategy decides when stages are submitted.
@@ -116,6 +121,9 @@ func RunJob(c *cluster.Cluster, job *workload.Job, s Strategy, opt sim.Options) 
 	}
 	opt.Cluster = c
 	opt.AggShuffle = plan.AggShuffle
+	if plan.Watchdog != nil {
+		opt.Watchdog = plan.Watchdog
+	}
 	return sim.Run(opt, []sim.JobRun{{Job: job, Delays: plan.Delays}})
 }
 
@@ -126,6 +134,7 @@ func RunJobs(c *cluster.Cluster, jobs []*workload.Job, arrivals []float64, s Str
 		return nil, fmt.Errorf("scheduler: %d jobs but %d arrivals", len(jobs), len(arrivals))
 	}
 	runs := make([]sim.JobRun, len(jobs))
+	guards := map[int]sim.Watchdog{}
 	for i, j := range jobs {
 		plan, err := s.Plan(c, j)
 		if err != nil {
@@ -134,8 +143,53 @@ func RunJobs(c *cluster.Cluster, jobs []*workload.Job, arrivals []float64, s Str
 		if plan.AggShuffle {
 			opt.AggShuffle = true
 		}
+		if plan.Watchdog != nil {
+			guards[i] = plan.Watchdog
+		}
 		runs[i] = sim.JobRun{Job: j, Arrival: arrivals[i], Delays: plan.Delays}
+	}
+	if len(guards) > 0 {
+		opt.Watchdog = muxWatchdog(guards)
 	}
 	opt.Cluster = c
 	return sim.Run(opt, runs)
+}
+
+// muxWatchdog fans simulator events out to per-job watchdogs (each
+// strategy Plan call produced one for its own job).
+type muxWatchdog map[int]sim.Watchdog
+
+// StageReadCompleted implements sim.Watchdog.
+func (m muxWatchdog) StageReadCompleted(ev sim.WatchEvent) []sim.DelayUpdate {
+	if w := m[ev.Job]; w != nil {
+		return w.StageReadCompleted(ev)
+	}
+	return nil
+}
+
+// StageCompleted implements sim.Watchdog.
+func (m muxWatchdog) StageCompleted(ev sim.WatchEvent) []sim.DelayUpdate {
+	if w := m[ev.Job]; w != nil {
+		return w.StageCompleted(ev)
+	}
+	return nil
+}
+
+// TaskRetried implements sim.Watchdog.
+func (m muxWatchdog) TaskRetried(job int, stage dag.StageID, node, attempt int, now float64) []sim.DelayUpdate {
+	if w := m[job]; w != nil {
+		return w.TaskRetried(job, stage, node, attempt, now)
+	}
+	return nil
+}
+
+// sortedStageIDs returns a delay map's keys in ascending order, for
+// deterministic update emission.
+func sortedStageIDs(m map[dag.StageID]float64) []dag.StageID {
+	ids := make([]dag.StageID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }

@@ -57,6 +57,15 @@ type item struct {
 	// execUsed is the executors this compute item currently occupies
 	// (share capped by task count); drives CPU-utilization accounting.
 	execUsed float64
+
+	// Fault injection. attempt is 1-based; failAt > 0 marks a doomed
+	// attempt that dies once volume−remaining reaches it; slow > 1 divides
+	// the compute rate (straggler); recompute marks lineage-recomputation
+	// items whose completion routes to the recovery chain, not the stage.
+	attempt   int
+	failAt    float64
+	slow      float64
+	recompute bool
 }
 
 // stageState tracks one (job, stage) through its lifecycle.
@@ -88,6 +97,19 @@ type stageState struct {
 	// readyValid marks tl.Ready as set.
 	readyValid bool
 	complete   bool
+
+	// retries counts failed partition attempts (faults only).
+	retries int
+	// recomputeHolds > 0 blocks compute starts while a crashed parent's
+	// shuffle output is being recomputed (lineage recovery).
+	recomputeHolds int
+	// submitAt is the authoritative submission time once ready; a
+	// watchdog may move it (tSubmitStage re-schedules itself until now ≥
+	// submitAt).
+	submitAt float64
+	// delayOverride, when set, replaces the run's configured delay
+	// (watchdog revision that arrived before the stage became ready).
+	delayOverride *float64
 }
 
 type profileView struct {
@@ -109,6 +131,11 @@ type timer struct {
 	kind timerKind
 	key  skey
 	job  int
+	// retry payload (tRetry only)
+	node    int
+	ph      phase
+	attempt int
+	recomp  bool
 }
 
 type timerKind uint8
@@ -117,6 +144,8 @@ const (
 	tJobArrival timerKind = iota
 	tSubmitStage
 	tRecompute // no-op: forces a rate recomputation (availability catch-up)
+	tRetry     // re-create a failed partition-phase attempt after backoff
+	tNodeCrash // lose a node's in-flight tasks and stored shuffle outputs
 )
 
 type timerHeap []timer
@@ -163,6 +192,25 @@ type engine struct {
 	diskBytesInt float64
 
 	occOpen map[skey]*OccupancySegment
+
+	// fault / recovery state
+	stagesLeft []int  // incomplete stages per job
+	jobsLeft   int    // jobs neither complete nor failed
+	failed     []bool // per-job abort flag
+	recomps    map[recompKey]*recompState
+}
+
+// recompKey identifies one lineage recomputation: the producing stage's
+// partition on the crashed node.
+type recompKey struct {
+	key  skey
+	node int
+}
+
+// recompState tracks an in-flight recomputation and the child stages it
+// holds back from computing.
+type recompState struct {
+	held []skey
 }
 
 func newEngine(opt Options, runs []JobRun) *engine {
@@ -170,8 +218,10 @@ func newEngine(opt Options, runs []JobRun) *engine {
 		opt:     opt,
 		runs:    runs,
 		states:  make(map[skey]*stageState),
-		res:     &Result{JobEnd: make([]float64, len(runs)), JobStart: make([]float64, len(runs))},
+		res:     &Result{JobEnd: make([]float64, len(runs)), JobStart: make([]float64, len(runs)), JobErrors: make([]error, len(runs))},
 		occOpen: make(map[skey]*OccupancySegment),
+		failed:  make([]bool, len(runs)),
+		recomps: make(map[recompKey]*recompState),
 	}
 	for _, n := range opt.Cluster.Nodes {
 		e.netBW = append(e.netBW, n.NetBW)
@@ -234,7 +284,15 @@ func (e *engine) setup() {
 			}
 			e.states[st.key] = st
 		}
+		e.stagesLeft = append(e.stagesLeft, len(g.Stages()))
 		e.pushTimer(run.Arrival, tJobArrival, skey{}, ji)
+	}
+	e.jobsLeft = len(e.runs)
+	if e.opt.Faults != nil {
+		for _, cr := range e.opt.Faults.Crashes() {
+			e.seq++
+			heap.Push(&e.timers, timer{at: cr.At, seq: e.seq, kind: tNodeCrash, node: cr.Node, job: -1})
+		}
 	}
 }
 
@@ -260,7 +318,12 @@ func (e *engine) markReady(st *stageState) {
 		// only unblocks compute (handled by parent-completion bookkeeping).
 		return
 	}
-	e.pushTimer(e.now+e.delayOf(st.key), tSubmitStage, st.key, st.key.job)
+	d := e.delayOf(st.key)
+	if st.delayOverride != nil {
+		d = *st.delayOverride
+	}
+	st.submitAt = e.now + d
+	e.pushTimer(st.submitAt, tSubmitStage, st.key, st.key.job)
 }
 
 // submit creates the stage's read items on every node.
@@ -297,25 +360,39 @@ func (e *engine) finishRead(st *stageState, node int) {
 	st.readsLeft--
 	if st.readsLeft == 0 {
 		st.tl.ReadEnd = e.now
+		if e.opt.Watchdog != nil {
+			e.applyDelayUpdates(e.opt.Watchdog.StageReadCompleted(WatchEvent{
+				Job: st.key.job, Stage: st.key.stage, Timeline: st.tl,
+				Retries: st.retries, JobStart: e.runs[st.key.job].Arrival, Now: e.now,
+			}))
+		}
 	}
-	if st.parentsLeft == 0 {
+	if st.parentsLeft == 0 && st.recomputeHolds == 0 {
 		e.startCompute(st, node)
 	} else {
 		st.pendingCompute = append(st.pendingCompute, node)
 	}
 }
 
-func (e *engine) startCompute(st *stageState, node int) {
+// computeVol is the compute-phase volume of one partition of the stage.
+func (e *engine) computeVol(st *stageState) float64 {
 	vol := st.profile.perNodeIn
 	if st.prefetched {
 		// Proactive aggregation re-processes pushed partial outputs.
 		vol *= 1 + e.opt.AggShuffleOverhead
 	}
+	return vol
+}
+
+func (e *engine) startCompute(st *stageState, node int) {
+	vol := e.computeVol(st)
 	if vol <= eps {
 		e.finishCompute(st, node)
 		return
 	}
-	e.items = append(e.items, &item{key: st.key, node: node, ph: phCompute, remaining: vol, volume: vol})
+	it := &item{key: st.key, node: node, ph: phCompute, remaining: vol, volume: vol, attempt: 1}
+	e.armCompute(it)
+	e.items = append(e.items, it)
 }
 
 func (e *engine) finishCompute(st *stageState, node int) {
@@ -340,19 +417,32 @@ func (e *engine) finishWrite(st *stageState, node int) {
 	st.complete = true
 	st.computeDone = st.computeTot
 	st.tl.End = e.now
+	st.tl.Retries = st.retries
 	e.res.Timelines = append(e.res.Timelines, st.tl)
 	if e.now > e.res.JobEnd[st.key.job] {
 		e.res.JobEnd[st.key.job] = e.now
+	}
+	e.stagesLeft[st.key.job]--
+	if e.stagesLeft[st.key.job] == 0 {
+		e.jobsLeft--
+	}
+	if e.opt.Watchdog != nil {
+		e.applyDelayUpdates(e.opt.Watchdog.StageCompleted(WatchEvent{
+			Job: st.key.job, Stage: st.key.stage, Timeline: st.tl,
+			Retries: st.retries, JobStart: e.runs[st.key.job].Arrival, Now: e.now,
+		}))
 	}
 	for _, ck := range st.children {
 		cst := e.states[ck]
 		cst.parentsLeft--
 		if cst.parentsLeft == 0 {
-			// Unblock any partitions that prefetched their input already.
-			for _, w := range cst.pendingCompute {
-				e.startCompute(cst, w)
+			if cst.recomputeHolds == 0 {
+				// Unblock any partitions that prefetched their input already.
+				for _, w := range cst.pendingCompute {
+					e.startCompute(cst, w)
+				}
+				cst.pendingCompute = nil
 			}
-			cst.pendingCompute = nil
 			e.markReady(cst)
 		}
 	}
@@ -366,9 +456,22 @@ func (e *engine) fireTimer(t timer) {
 			e.markReady(e.states[skey{t.job, sid}])
 		}
 	case tSubmitStage:
-		e.submit(e.states[t.key], false)
+		st := e.states[t.key]
+		if e.failed[t.job] || st.submitted {
+			return
+		}
+		if st.submitAt > e.now+eps {
+			// A watchdog pushed the submission later; chase it.
+			e.pushTimer(st.submitAt, tSubmitStage, t.key, t.job)
+			return
+		}
+		e.submit(st, false)
 	case tRecompute:
 		// no-op; loop recomputes rates
+	case tRetry:
+		e.retryTask(t)
+	case tNodeCrash:
+		e.crashNode(t.node)
 	}
 }
 
@@ -469,6 +572,9 @@ func (e *engine) computeRatesPass() {
 			}
 			it.execUsed = share
 			it.rate = share * st.profile.procRate * cf
+			if it.slow > 1 {
+				it.rate /= it.slow
+			}
 			stageComputeRate[it.key] += it.rate
 		}
 	}
@@ -599,6 +705,12 @@ func (e *engine) nextDT() float64 {
 			if d := it.remaining / it.rate; d < dt {
 				dt = d
 			}
+			if it.failAt > 0 {
+				// Time until this doomed attempt dies.
+				if d := (it.failAt - (it.volume - it.remaining)) / it.rate; d < dt {
+					dt = d
+				}
+			}
 		}
 		if it.capped && it.ph == phRead {
 			st := e.states[it.key]
@@ -632,7 +744,7 @@ func (e *engine) advance(dt float64) {
 		if it.capped {
 			it.done += p
 		}
-		if it.ph == phCompute {
+		if it.ph == phCompute && !it.recompute {
 			e.states[it.key].computeDone += p
 		}
 	}
@@ -740,33 +852,45 @@ func (e *engine) recordOccupancy(dt float64) {
 	}
 }
 
-// removeDone drops completed items and fires their transitions.
+// itemOrder is the deterministic transition order: by key then phase/node.
+func itemOrder(a, b *item) bool {
+	if a.key.job != b.key.job {
+		return a.key.job < b.key.job
+	}
+	if a.key.stage != b.key.stage {
+		return a.key.stage < b.key.stage
+	}
+	if a.ph != b.ph {
+		return a.ph < b.ph
+	}
+	return a.node < b.node
+}
+
+// removeDone drops completed and freshly-failed items and fires their
+// transitions.
 func (e *engine) removeDone() {
 	kept := e.items[:0]
-	var done []*item
+	var done, dead []*item
 	for _, it := range e.items {
-		if it.remaining <= eps {
+		switch {
+		case it.remaining <= eps:
 			done = append(done, it)
-		} else {
+		case it.failAt > 0 && it.volume-it.remaining >= it.failAt-eps:
+			dead = append(dead, it)
+		default:
 			kept = append(kept, it)
 		}
 	}
 	e.items = kept
-	// Deterministic transition order: by key then node.
-	sort.Slice(done, func(i, j int) bool {
-		a, b := done[i], done[j]
-		if a.key.job != b.key.job {
-			return a.key.job < b.key.job
-		}
-		if a.key.stage != b.key.stage {
-			return a.key.stage < b.key.stage
-		}
-		if a.ph != b.ph {
-			return a.ph < b.ph
-		}
-		return a.node < b.node
-	})
+	sort.Slice(done, func(i, j int) bool { return itemOrder(done[i], done[j]) })
 	for _, it := range done {
+		if e.failed[it.key.job] {
+			continue
+		}
+		if it.recompute {
+			e.finishRecompute(it)
+			continue
+		}
 		st := e.states[it.key]
 		switch it.ph {
 		case phRead:
@@ -776,6 +900,10 @@ func (e *engine) removeDone() {
 		case phWrite:
 			e.finishWrite(st, it.node)
 		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return itemOrder(dead[i], dead[j]) })
+	for _, it := range dead {
+		e.taskFailed(it)
 	}
 }
 
@@ -791,7 +919,12 @@ func (e *engine) run() (*Result, error) {
 			e.fireTimer(t)
 		}
 		e.maybePrefetch()
+		// Stop when nothing remains — or when every job has completed or
+		// failed (leftover crash/retry timers no longer matter).
 		if len(e.items) == 0 && len(e.timers) == 0 {
+			break
+		}
+		if e.jobsLeft == 0 {
 			break
 		}
 		e.computeRatesPass()

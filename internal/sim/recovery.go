@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Failure handling and recovery: capped retries with exponential backoff
+// for lost partitions, lineage-style recomputation of a crashed node's
+// shuffle outputs (Spark semantics: the producing partitions are re-run),
+// and the runtime watchdog hook that lets a guarded scheduler revise
+// not-yet-submitted delays when the plan goes stale. Every entry point is
+// a no-op without an Injector/Watchdog, keeping the fault-free engine
+// bit-identical to the pre-fault build.
+
+// armCompute attaches the injector's verdicts to a fresh compute attempt:
+// a doomed attempt gets its fail point, a straggling partition its
+// slowdown.
+func (e *engine) armCompute(it *item) {
+	inj := e.opt.Faults
+	if inj == nil {
+		return
+	}
+	if f, ok := inj.TaskFailure(it.key.job, int(it.key.stage), it.node, it.attempt); ok {
+		it.failAt = it.volume * f
+	}
+	it.slow = inj.Straggler(it.key.job, int(it.key.stage), it.node)
+}
+
+// taskFailed handles one lost partition attempt (mid-compute death or a
+// node-crash kill): re-queue with exponential backoff, or — once the
+// attempt budget is spent — fail the job with a structured error instead
+// of fabricating a timeline.
+func (e *engine) taskFailed(it *item) {
+	if e.failed[it.key.job] {
+		return
+	}
+	st := e.states[it.key]
+	st.retries++
+	e.res.Retries++
+	if it.attempt >= e.opt.MaxAttempts {
+		e.failJob(it.key.job, &StageFailureError{
+			Job: it.key.job, Stage: it.key.stage, Node: it.node, Attempts: it.attempt,
+		})
+		return
+	}
+	backoff := e.opt.RetryBackoff * math.Pow(2, float64(it.attempt-1))
+	e.seq++
+	heap.Push(&e.timers, timer{at: e.now + backoff, seq: e.seq, kind: tRetry, key: it.key,
+		job: it.key.job, node: it.node, ph: it.ph, attempt: it.attempt + 1, recomp: it.recompute})
+	if e.opt.Watchdog != nil {
+		e.applyDelayUpdates(e.opt.Watchdog.TaskRetried(it.key.job, it.key.stage, it.node, it.attempt, e.now))
+	}
+}
+
+// retryTask re-creates a failed partition-phase attempt. The work starts
+// over from zero — partial progress died with the executor.
+func (e *engine) retryTask(t timer) {
+	if e.failed[t.job] {
+		return
+	}
+	st := e.states[t.key]
+	var vol float64
+	switch t.ph {
+	case phRead, phCompute:
+		vol = st.profile.perNodeIn
+		if t.ph == phCompute {
+			vol = e.computeVol(st)
+		}
+	case phWrite:
+		vol = st.profile.perNodeOut
+	}
+	if vol <= eps {
+		vol = eps * 2 // degenerate volume: completes on the next event
+	}
+	it := &item{key: t.key, node: t.node, ph: t.ph, remaining: vol, volume: vol,
+		attempt: t.attempt, recompute: t.recomp}
+	if t.ph == phRead && st.prefetched && st.parentsLeft > 0 && !t.recomp {
+		it.capped = true
+	}
+	if t.ph == phCompute {
+		e.armCompute(it)
+	}
+	e.items = append(e.items, it)
+}
+
+// crashNode loses one node: every in-flight task on it dies (re-queued via
+// the retry path), and the shuffle outputs it stored for completed stages
+// that still have incomplete consumers are recomputed lineage-style.
+func (e *engine) crashNode(w int) {
+	if w < 0 || w >= e.nNodes {
+		return
+	}
+	kept := e.items[:0]
+	var killed []*item
+	for _, it := range e.items {
+		if it.node == w && !e.failed[it.key.job] {
+			killed = append(killed, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	e.items = kept
+	sort.Slice(killed, func(i, j int) bool { return itemOrder(killed[i], killed[j]) })
+	for _, it := range killed {
+		e.taskFailed(it)
+	}
+	// Lineage recomputation: completed stages whose output is still needed.
+	var lost []*stageState
+	for _, st := range e.states {
+		if !st.complete || e.failed[st.key.job] || e.stagesLeft[st.key.job] == 0 {
+			continue
+		}
+		for _, ck := range st.children {
+			if !e.states[ck].complete {
+				lost = append(lost, st)
+				break
+			}
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool {
+		a, b := lost[i].key, lost[j].key
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		return a.stage < b.stage
+	})
+	for _, st := range lost {
+		e.scheduleRecompute(st, w)
+	}
+}
+
+// scheduleRecompute re-runs the producing partition of (stage, node):
+// its read→compute→write chain is replayed on that node, and child stages
+// that have not finished computing hold off new compute starts until the
+// output is restored (the fluid analogue of Spark's FetchFailed →
+// parent-resubmit path).
+func (e *engine) scheduleRecompute(st *stageState, w int) {
+	rk := recompKey{st.key, w}
+	if _, active := e.recomps[rk]; active {
+		return
+	}
+	rs := &recompState{}
+	for _, ck := range st.children {
+		cst := e.states[ck]
+		if cst.complete || cst.computeLeft == 0 {
+			continue // already past consuming this output
+		}
+		cst.recomputeHolds++
+		rs.held = append(rs.held, ck)
+	}
+	e.recomps[rk] = rs
+	e.recompPhase(st, w, phRead, 1)
+}
+
+// recompPhase creates the next item of a recomputation chain, skipping
+// zero-volume phases.
+func (e *engine) recompPhase(st *stageState, w int, ph phase, attempt int) {
+	for {
+		var vol float64
+		switch ph {
+		case phRead:
+			vol = st.profile.perNodeIn
+		case phCompute:
+			vol = e.computeVol(st)
+		case phWrite:
+			vol = st.profile.perNodeOut
+		}
+		if vol > eps {
+			it := &item{key: st.key, node: w, ph: ph, remaining: vol, volume: vol,
+				attempt: attempt, recompute: true}
+			if ph == phCompute {
+				e.armCompute(it)
+			}
+			e.items = append(e.items, it)
+			return
+		}
+		if ph == phWrite {
+			e.releaseRecompute(st.key, w)
+			return
+		}
+		ph++
+	}
+}
+
+// finishRecompute advances a recomputation chain when one of its items
+// completes.
+func (e *engine) finishRecompute(it *item) {
+	st := e.states[it.key]
+	if it.ph == phWrite {
+		e.releaseRecompute(it.key, it.node)
+		return
+	}
+	e.recompPhase(st, it.node, it.ph+1, 1)
+}
+
+// releaseRecompute ends a recomputation: held children may compute again.
+func (e *engine) releaseRecompute(k skey, w int) {
+	rk := recompKey{k, w}
+	rs := e.recomps[rk]
+	if rs == nil {
+		return
+	}
+	delete(e.recomps, rk)
+	for _, ck := range rs.held {
+		cst := e.states[ck]
+		cst.recomputeHolds--
+		if cst.recomputeHolds == 0 && cst.parentsLeft == 0 {
+			for _, node := range cst.pendingCompute {
+				e.startCompute(cst, node)
+			}
+			cst.pendingCompute = nil
+		}
+	}
+}
+
+// failJob aborts one job: its items vanish, its error is recorded, and
+// its end time freezes at the abort instant. Other jobs keep running.
+func (e *engine) failJob(job int, err error) {
+	if e.failed[job] {
+		return
+	}
+	e.failed[job] = true
+	e.res.JobErrors[job] = err
+	e.res.JobEnd[job] = e.now
+	if e.stagesLeft[job] > 0 {
+		e.stagesLeft[job] = 0
+		e.jobsLeft--
+	}
+	kept := e.items[:0]
+	for _, it := range e.items {
+		if it.key.job != job {
+			kept = append(kept, it)
+		}
+	}
+	e.items = kept
+	for rk := range e.recomps {
+		if rk.key.job == job {
+			delete(e.recomps, rk)
+		}
+	}
+}
+
+// applyDelayUpdates applies a watchdog's revisions: an unsubmitted stage's
+// delay-after-ready becomes the given value (already-submitted stages and
+// failed jobs ignore revisions; past-due times submit immediately).
+func (e *engine) applyDelayUpdates(us []DelayUpdate) {
+	for _, u := range us {
+		st := e.states[skey{u.Job, u.Stage}]
+		if st == nil || st.submitted || e.failed[u.Job] {
+			continue
+		}
+		d := u.Delay
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			d = 0
+		}
+		dd := d
+		st.delayOverride = &dd
+		if st.readyValid {
+			at := st.tl.Ready + dd
+			if at < e.now {
+				at = e.now
+			}
+			st.submitAt = at
+			e.pushTimer(at, tSubmitStage, st.key, u.Job)
+		}
+	}
+}

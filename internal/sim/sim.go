@@ -23,6 +23,7 @@ import (
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/dag"
+	"delaystage/internal/faults"
 	"delaystage/internal/workload"
 )
 
@@ -61,6 +62,69 @@ type Options struct {
 	// MaxTime aborts the run if simulated time exceeds it (safety against
 	// pathological inputs). Zero means 30 days.
 	MaxTime float64
+	// Faults injects task failures, stragglers and node crashes (nil: the
+	// perfect world — the engine behaves bit-identically to a build
+	// without the fault layer).
+	Faults *faults.Injector
+	// MaxAttempts bounds the executions of one stage-partition phase
+	// (first try + retries). A partition that fails MaxAttempts times
+	// fails its job with a *StageFailureError. Zero means 4.
+	MaxAttempts int
+	// RetryBackoff is the base of the exponential retry backoff: attempt
+	// n+1 starts RetryBackoff·2^(n−1) seconds after attempt n failed.
+	// Zero means 2 s.
+	RetryBackoff float64
+	// Watchdog observes stage completions and task retries at runtime and
+	// may revise the submission delays of not-yet-submitted stages (the
+	// guarded DelayStage strategy plugs in here). Nil: no monitoring.
+	Watchdog Watchdog
+}
+
+// WatchEvent is what a Watchdog sees when a stage completes.
+type WatchEvent struct {
+	Job      int
+	Stage    dag.StageID
+	Timeline StageTimeline
+	// Retries is the number of failed partition attempts the stage
+	// absorbed before completing.
+	Retries  int
+	JobStart float64 // the job's arrival time
+	Now      float64
+}
+
+// DelayUpdate revises the submission delay of one not-yet-submitted
+// stage: its delay-after-ready becomes Delay (already-submitted stages
+// ignore updates; a past-due revised time submits immediately).
+type DelayUpdate struct {
+	Job   int
+	Stage dag.StageID
+	Delay float64
+}
+
+// Watchdog is the runtime plan monitor. All methods may return delay
+// revisions; they are called synchronously from the event loop.
+// StageReadCompleted fires when a stage's shuffle read finishes on every
+// node (Timeline.ReadEnd set, End still zero) — the earliest moment a
+// plan's predictions can be checked against reality, typically before
+// most planned delays have committed.
+type Watchdog interface {
+	StageReadCompleted(ev WatchEvent) []DelayUpdate
+	StageCompleted(ev WatchEvent) []DelayUpdate
+	TaskRetried(job int, stage dag.StageID, node, attempt int, now float64) []DelayUpdate
+}
+
+// StageFailureError reports that a job was aborted because one stage
+// partition exhausted its retry budget.
+type StageFailureError struct {
+	Job      int
+	Stage    dag.StageID
+	Node     int
+	Attempts int
+}
+
+func (e *StageFailureError) Error() string {
+	return fmt.Sprintf("sim: job %d stage %d: partition on node %d failed after %d attempts",
+		e.Job, e.Stage, e.Node, e.Attempts)
 }
 
 // JobRun is one job instance inside a simulation.
@@ -82,6 +146,9 @@ type StageTimeline struct {
 	ReadEnd    float64 // shuffle read finished on every node
 	ComputeEnd float64 // compute finished on every node
 	End        float64 // shuffle write finished on every node
+	// Retries counts failed partition attempts absorbed by the stage
+	// (task failures and node-crash kills; zero in a fault-free run).
+	Retries int
 }
 
 // Sample is one step of a step-function time series: value V holds from
@@ -136,6 +203,21 @@ type Result struct {
 	AvgNetRate  float64
 	// Events is the number of simulation events processed.
 	Events int
+	// Retries is the total number of failed partition attempts across all
+	// jobs (zero in a fault-free run).
+	Retries int
+	// JobErrors[i] is non-nil (a *StageFailureError) when runs[i] was
+	// aborted after a partition exhausted its retry budget; its JobEnd is
+	// the abort time and its timelines are partial.
+	JobErrors []error
+}
+
+// Failed returns job i's structured failure, or nil if it completed.
+func (r *Result) Failed(i int) error {
+	if i < 0 || i >= len(r.JobErrors) {
+		return nil
+	}
+	return r.JobErrors[i]
 }
 
 // JCT returns job i's completion time (end − arrival).
@@ -190,6 +272,20 @@ func Run(opt Options, runs []JobRun) (*Result, error) {
 				return nil, fmt.Errorf("sim: job %d stage %d has invalid delay %v", i, s, d)
 			}
 		}
+	}
+	if opt.Faults != nil {
+		n := len(opt.Cluster.Nodes)
+		for _, cr := range opt.Faults.Crashes() {
+			if cr.Node >= n {
+				return nil, fmt.Errorf("sim: fault plan crashes node %d but cluster has %d nodes", cr.Node, n)
+			}
+		}
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 4
+	}
+	if opt.RetryBackoff <= 0 {
+		opt.RetryBackoff = 2
 	}
 	if opt.MaxTime <= 0 {
 		opt.MaxTime = 30 * 24 * 3600

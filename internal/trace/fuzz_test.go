@@ -7,14 +7,19 @@ import (
 
 // FuzzParseTaskName: the dependency-grammar decoder must never panic and
 // must keep its invariants (ok ⇒ id parsed from the name; parents are
-// numeric suffixes).
+// numeric suffixes; ok agrees with ClassifyTaskName).
 func FuzzParseTaskName(f *testing.F) {
 	for _, seed := range []string{"M1", "R3_1_2", "task_123", "", "M", "J10_4",
-		"MergeTask", "M1_x", "M999999999999999999999", "_1", "M1_", "a1_2_3_4_5"} {
+		"MergeTask", "M1_x", "M999999999999999999999", "_1", "M1_", "a1_2_3_4_5",
+		"M3_1_x", "R2_2", "R2_2_", "M1x2", "M__1", "M0_0"} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, name string) {
 		id, parents, ok := ParseTaskName(name)
+		if ok != (ClassifyTaskName(name) == NameStructured) {
+			t.Fatalf("%q: ParseTaskName ok=%v disagrees with ClassifyTaskName %v",
+				name, ok, ClassifyTaskName(name))
+		}
 		if !ok {
 			if id != 0 || parents != nil {
 				t.Fatalf("not-ok result must be zero: %d %v", id, parents)
@@ -28,20 +33,48 @@ func FuzzParseTaskName(f *testing.F) {
 }
 
 // FuzzParse: arbitrary CSV input must either parse into a well-formed
-// trace or return an error — never panic, never emit a cyclic job.
+// trace or return an error — never panic, never emit a cyclic job. The
+// lenient parser must additionally keep its books straight: skipped rows
+// decompose exactly into the three skip reasons and never exceed the rows
+// read.
 func FuzzParse(f *testing.F) {
 	f.Add("M1,1,j,b,T,0,10,1,1\n")
 	f.Add(sampleCSV)
 	f.Add("R2_9,1,j,b,T,0,10,1,1\nM1,2,j,b,T,x,y,1,1\n")
 	f.Add(",,,,,,,\n")
+	f.Add("M3_1_x,1,j,b,T,0,10,1,1\n")    // malformed dependency token
+	f.Add("R2_2_1,1,j,b,T,0,10,1,1\n")    // self-dependency
+	f.Add("M1,1,short\nM2,1,j,b,T,5,9,1,1\n") // truncated row
+	f.Add(",1,j,b,T,0,5,1,1\nM5,1,,b,T,0,5,1,1\n") // empty names
 	f.Fuzz(func(t *testing.T, src string) {
 		tr, err := Parse(strings.NewReader(src))
-		if err != nil {
-			return
+		if err == nil {
+			for i := range tr.Jobs {
+				if _, err := tr.Jobs[i].Graph(); err != nil {
+					t.Fatalf("Parse emitted an invalid job %q: %v", tr.Jobs[i].Name, err)
+				}
+			}
 		}
-		for i := range tr.Jobs {
-			if _, err := tr.Jobs[i].Graph(); err != nil {
-				t.Fatalf("Parse emitted an invalid job %q: %v", tr.Jobs[i].Name, err)
+		ltr, stats, err := ParseWithStats(strings.NewReader(src))
+		if err != nil {
+			return // only CSV-level read errors abort the lenient parser
+		}
+		if stats.SkippedRows != stats.ShortRows+stats.EmptyFields+stats.MalformedTimes {
+			t.Fatalf("skip accounting broken: %+v", stats)
+		}
+		if stats.SkippedRows > stats.Rows {
+			t.Fatalf("skipped %d of %d rows", stats.SkippedRows, stats.Rows)
+		}
+		for i := range ltr.Jobs {
+			if _, err := ltr.Jobs[i].Graph(); err != nil {
+				t.Fatalf("ParseWithStats emitted an invalid job %q: %v", ltr.Jobs[i].Name, err)
+			}
+			for _, s := range ltr.Jobs[i].Stages {
+				for _, p := range s.Parents {
+					if p == s.ID {
+						t.Fatalf("job %q stage %d kept a self-dependency", ltr.Jobs[i].Name, s.ID)
+					}
+				}
 			}
 		}
 	})

@@ -16,7 +16,11 @@ import (
 type GenConfig struct {
 	Jobs int     // number of jobs (default 1000)
 	Span float64 // arrival window in seconds (default 8 days, the trace span)
+	// Seed seeds a private source. Ignored when Rng is set.
 	Seed int64
+	// Rng, when non-nil, drives generation, letting one seeded *rand.Rand
+	// feed every stochastic component of a reproducible pipeline.
+	Rng *rand.Rand
 	// MaxStages caps the largest job (default 186, the paper's maximum).
 	MaxStages int
 	// ChainFrac is the fraction of jobs that are pure sequential chains —
@@ -47,7 +51,10 @@ func (c *GenConfig) defaults() {
 // job's DAG (stages start when their last parent ends).
 func Generate(cfg GenConfig) *Trace {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	tr := &Trace{Jobs: make([]Job, 0, cfg.Jobs)}
 	for i := 0; i < cfg.Jobs; i++ {
 		arrival := rng.Float64() * cfg.Span

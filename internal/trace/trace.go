@@ -102,15 +102,100 @@ func ParseTaskName(name string) (id int, parents []int, ok bool) {
 	return id, parents, true
 }
 
+// NameClass is ClassifyTaskName's three-way verdict on a task name.
+type NameClass int
+
+const (
+	// NameStructured names decode fully under the dependency grammar:
+	// "M1", "R3_1_2".
+	NameStructured NameClass = iota
+	// NameUnstructured names carry no dependency grammar at all:
+	// "task_1234", "MergeTask", "".
+	NameUnstructured
+	// NameMalformed names start the grammar but break it mid-way —
+	// "M3_1_x", "M1_" — so a dependency list exists but cannot be trusted.
+	NameMalformed
+)
+
+// String implements fmt.Stringer.
+func (c NameClass) String() string {
+	switch c {
+	case NameStructured:
+		return "structured"
+	case NameUnstructured:
+		return "unstructured"
+	default:
+		return "malformed"
+	}
+}
+
+// ClassifyTaskName reports how a task name relates to the dependency
+// grammar. ParseTaskName answers ok only for NameStructured; callers that
+// must distinguish a benign unstructured name from a corrupted structured
+// one (dependency information silently lost) need the three-way answer.
+func ClassifyTaskName(name string) NameClass {
+	i := 0
+	for i < len(name) && (name[i] < '0' || name[i] > '9') {
+		i++
+	}
+	if i == 0 || i >= len(name) || strings.Contains(name[:i], "_") {
+		return NameUnstructured
+	}
+	parts := strings.Split(name[i:], "_")
+	if _, err := strconv.Atoi(parts[0]); err != nil {
+		return NameUnstructured
+	}
+	for _, p := range parts[1:] {
+		if _, err := strconv.Atoi(p); err != nil {
+			return NameMalformed
+		}
+	}
+	return NameStructured
+}
+
+// ParseStats counts everything the lenient parser had to tolerate. The
+// real trace contains all of it: truncated rows, empty names, non-numeric
+// timestamps, dependency tokens like "M3_1_x", stages that list themselves
+// as a parent, and duplicated task rows.
+type ParseStats struct {
+	Rows        int // data rows read
+	SkippedRows int // rows excluded from the trace (sum of the three below)
+
+	ShortRows      int // fewer than 7 fields
+	EmptyFields    int // missing task or job name
+	MalformedTimes int // non-numeric start/end
+
+	MalformedNames   int // NameMalformed rows, kept as independent stages
+	SelfDependencies int // self-edges dropped from structured names
+	DuplicateRows    int // repeated (job, stage) rows collapsed
+	DroppedJobs      int // assembled jobs removed as cyclic/corrupt
+}
+
 // Parse reads a batch_task.csv stream (columns: task_name, instance_num,
 // job_name, task_type, status, start_time, end_time, plan_cpu, plan_mem)
 // and assembles jobs. Tasks with unstructured names get synthetic stage
-// IDs (negative of their per-job ordinal is avoided; they continue after
-// the max structured ID). Jobs with zero or negative stage durations keep
-// them (the analyses clamp); jobs whose DAG turns out cyclic are dropped.
+// IDs (they continue after the max structured ID). Jobs with zero or
+// negative stage durations keep them (the analyses clamp); jobs whose DAG
+// turns out cyclic are dropped. Parse is strict: a truncated row or a
+// non-numeric timestamp aborts with a row-numbered error. ParseWithStats
+// is the lenient variant for real-world files.
 func Parse(r io.Reader) (*Trace, error) {
+	tr, _, err := parse(r, true)
+	return tr, err
+}
+
+// ParseWithStats is Parse for files that cannot be trusted: rows with too
+// few fields, empty task/job names, or unparseable timestamps are skipped
+// and counted instead of aborting the whole file, and every other anomaly
+// the parser absorbs is tallied in the returned stats.
+func ParseWithStats(r io.Reader) (*Trace, *ParseStats, error) {
+	return parse(r, false)
+}
+
+func parse(r io.Reader, strict bool) (*Trace, *ParseStats, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	stats := &ParseStats{}
 	type rawStage struct {
 		Stage
 		structured bool
@@ -123,21 +208,53 @@ func Parse(r io.Reader) (*Trace, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: %w", err)
+			return nil, stats, fmt.Errorf("trace: %w", err)
 		}
+		stats.Rows++
 		if len(rec) < 7 {
-			return nil, fmt.Errorf("trace: record has %d fields, want ≥7", len(rec))
+			if strict {
+				return nil, stats, fmt.Errorf("trace: row %d: record has %d fields, want ≥7", stats.Rows, len(rec))
+			}
+			stats.ShortRows++
+			stats.SkippedRows++
+			continue
 		}
 		name, jobName := rec[0], rec[2]
+		if !strict && (name == "" || jobName == "") {
+			stats.EmptyFields++
+			stats.SkippedRows++
+			continue
+		}
 		start, err1 := strconv.ParseFloat(rec[5], 64)
 		end, err2 := strconv.ParseFloat(rec[6], 64)
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("trace: bad times %q/%q in job %s", rec[5], rec[6], jobName)
+			if strict {
+				return nil, stats, fmt.Errorf("trace: row %d: bad times %q/%q in job %s", stats.Rows, rec[5], rec[6], jobName)
+			}
+			stats.MalformedTimes++
+			stats.SkippedRows++
+			continue
 		}
 		if _, seen := jobs[jobName]; !seen {
 			order = append(order, jobName)
 		}
+		if ClassifyTaskName(name) == NameMalformed {
+			// The dependency list is corrupt; the work is real. Keep the
+			// stage, drop the untrustworthy edges.
+			stats.MalformedNames++
+		}
 		id, parents, ok := ParseTaskName(name)
+		if ok {
+			kept := parents[:0]
+			for _, p := range parents {
+				if p == id {
+					stats.SelfDependencies++
+					continue
+				}
+				kept = append(kept, p)
+			}
+			parents = kept
+		}
 		jobs[jobName] = append(jobs[jobName], rawStage{
 			Stage:      Stage{ID: id, Parents: parents, Start: start, End: end},
 			structured: ok,
@@ -164,6 +281,7 @@ func Parse(r io.Reader) (*Trace, error) {
 				st.Parents = nil
 			}
 			if seen[st.ID] {
+				stats.DuplicateRows++
 				continue // duplicate task rows exist in the real trace
 			}
 			seen[st.ID] = true
@@ -175,11 +293,12 @@ func Parse(r io.Reader) (*Trace, error) {
 		}
 		job.Arrival = arrival
 		if _, err := job.Graph(); err != nil {
+			stats.DroppedJobs++
 			continue // drop cyclic/corrupt jobs, as the paper excludes incomplete ones
 		}
 		tr.Jobs = append(tr.Jobs, job)
 	}
-	return tr, nil
+	return tr, stats, nil
 }
 
 // WriteCSV emits the trace in the batch_task.csv format Parse understands,

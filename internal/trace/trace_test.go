@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -286,5 +287,104 @@ func TestAnalyzeChainJob(t *testing.T) {
 	stats := Analyze(tr)
 	if len(stats) != 1 || stats[0].ParallelStages != 0 || stats[0].ParallelMakespanFrac != 0 {
 		t.Fatalf("chain stats = %+v", stats)
+	}
+}
+
+func TestClassifyTaskName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want NameClass
+	}{
+		{"M1", NameStructured},
+		{"R3_1_2", NameStructured},
+		{"task_1234", NameUnstructured},
+		{"MergeTask", NameUnstructured},
+		{"", NameUnstructured},
+		{"M3_1_x", NameMalformed},
+		{"M1_", NameMalformed},
+		{"R2_2_", NameMalformed},
+	}
+	for _, c := range cases {
+		if got := ClassifyTaskName(c.in); got != c.want {
+			t.Errorf("ClassifyTaskName(%q) = %v, want %v", c.in, got, c.want)
+		}
+		// ParseTaskName succeeds exactly on structured names.
+		if _, _, ok := ParseTaskName(c.in); ok != (c.want == NameStructured) {
+			t.Errorf("%q: ParseTaskName ok=%v disagrees with class %v", c.in, ok, c.want)
+		}
+	}
+}
+
+// The lenient parser must absorb every corruption the real trace contains,
+// keep the salvageable rows, and account for the rest.
+func TestParseWithStatsLenient(t *testing.T) {
+	src := "M1,1,j,b,T,0,10,1,1\n" + // good
+		"M2_1,1,j,b,T,10,20,1,1\n" + // good, dependent
+		"M3_1_x,1,j,b,T,10,30,1,1\n" + // malformed dep token: kept, edges dropped
+		"R4_4_1,1,j,b,T,30,40,1,1\n" + // self-dependency: edge dropped
+		"M1,9,j,b,T,0,12,1,1\n" + // duplicate row
+		"M9,1,j,b,T,abc,50,1,1\n" + // bad time: skipped
+		",1,j,b,T,0,5,1,1\n" + // empty task name: skipped
+		"M5,1,,b,T,0,5,1,1\n" + // empty job name: skipped
+		"M1,1,short\n" // short row: skipped
+	tr, stats, err := ParseWithStats(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if len(j.Stages) != 4 {
+		t.Fatalf("job has %d stages, want 4: %+v", len(j.Stages), j.Stages)
+	}
+	g, err := j.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-dep dropped at parse time: stage 4 keeps only the edge to 1.
+	if got := g.Parents(4); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("stage 4 parents = %v, want [1]", got)
+	}
+	want := ParseStats{Rows: 9, SkippedRows: 4, ShortRows: 1, EmptyFields: 2,
+		MalformedTimes: 1, MalformedNames: 1, SelfDependencies: 1, DuplicateRows: 1}
+	if *stats != want {
+		t.Fatalf("stats = %+v, want %+v", *stats, want)
+	}
+}
+
+// Strict Parse must name the offending row in its errors.
+func TestParseErrorsNameTheRow(t *testing.T) {
+	_, err := Parse(strings.NewReader("M1,1,j,b,T,0,10,1,1\nM2,1,j,b,T,x,y,1,1\n"))
+	if err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Fatalf("want row-numbered error, got %v", err)
+	}
+}
+
+// A self-dependency in the strict path is dropped too (the DAG layer used
+// to hide it; now the Stage itself is clean).
+func TestParseSelfDependencyDropped(t *testing.T) {
+	tr, err := Parse(strings.NewReader("R2_2_1,1,j,b,T,0,10,1,1\nM1,1,j,b,T,0,5,1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Jobs[0].Stages {
+		for _, p := range s.Parents {
+			if p == s.ID {
+				t.Fatalf("stage %d still lists itself as parent", s.ID)
+			}
+		}
+	}
+}
+
+// An injected Rng must behave exactly like the equivalent Seed, so one
+// seeded source can drive a whole pipeline reproducibly.
+func TestGenerateInjectedRng(t *testing.T) {
+	a := Generate(GenConfig{Jobs: 30, Seed: 9})
+	b := Generate(GenConfig{Jobs: 30, Rng: rand.New(rand.NewSource(9))})
+	for i := range a.Jobs {
+		if a.Jobs[i].Arrival != b.Jobs[i].Arrival || len(a.Jobs[i].Stages) != len(b.Jobs[i].Stages) {
+			t.Fatal("injected rng must match the equivalent seed")
+		}
 	}
 }
