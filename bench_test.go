@@ -13,8 +13,13 @@ package delaystage
 // reproduction table.
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
+	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
@@ -26,194 +31,277 @@ import (
 )
 
 // benchCfg is the reduced-scale configuration shared by the figure benches.
+// Benches run the experiment grid on all cores; results are bit-identical
+// to Parallelism: 1 (see internal/experiments determinism tests).
 func benchCfg() experiments.Config {
-	return experiments.Config{Scale: 0.2, Nodes: 15, TraceJobs: 150, Reps: 2, Seed: 1}
+	return experiments.Config{Scale: 0.2, Nodes: 15, TraceJobs: 150, Reps: 2, Seed: 1,
+		Parallelism: runtime.GOMAXPROCS(0)}
+}
+
+// benchTimings accumulates per-benchmark wall-clock for BENCH_sim.json.
+var benchTimings = map[string]float64{}
+
+// timed wraps a figure bench body, recording its wall-clock seconds under
+// the benchmark's name.
+func timed(b *testing.B, body func()) {
+	t0 := time.Now()
+	body()
+	benchTimings[b.Name()] += time.Since(t0).Seconds()
+}
+
+// TestMain writes BENCH_sim.json after a bench run: per-benchmark
+// wall-clock seconds plus the worker count used, so CI's bench smoke job
+// and the acceptance measurements leave a machine-readable record. The
+// file is only written when at least one bench ran (plain `go test`
+// leaves it untouched).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if len(benchTimings) > 0 {
+		type entry struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		}
+		names := make([]string, 0, len(benchTimings))
+		for n := range benchTimings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		entries := make([]entry, 0, len(names))
+		total := 0.0
+		for _, n := range names {
+			entries = append(entries, entry{Name: n, Seconds: benchTimings[n]})
+			total += benchTimings[n]
+		}
+		out := struct {
+			Parallelism  int     `json:"parallelism"`
+			TotalSeconds float64 `json:"total_seconds"`
+			Benches      []entry `json:"benches"`
+		}{Parallelism: runtime.GOMAXPROCS(0), TotalSeconds: total, Benches: entries}
+		if buf, err := json.MarshalIndent(out, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_sim.json", append(buf, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
 }
 
 func BenchmarkFig2TraceStats(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig2(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Summary.ParallelStageShare*100, "%parallel-stages")
 		}
-		b.ReportMetric(r.Summary.ParallelStageShare*100, "%parallel-stages")
-	}
+	})
 }
 
 func BenchmarkFig3MakespanFraction(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig3(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.MeanFrac, "%mean-parallel-frac")
 		}
-		b.ReportMetric(r.MeanFrac, "%mean-parallel-frac")
-	}
+	})
 }
 
 func BenchmarkFig4Utilization(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig4(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkFig5MotivationALS(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig5(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig5(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.JCT, "JCT-s")
 		}
-		b.ReportMetric(r.JCT, "JCT-s")
-	}
+	})
 }
 
 func BenchmarkFig6DelayedALS(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig6(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig6(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*(r.StockJCT-r.DelayedJCT)/r.StockJCT, "%JCT-gain")
 		}
-		b.ReportMetric(100*(r.StockJCT-r.DelayedJCT)/r.StockJCT, "%JCT-gain")
-	}
+	})
 }
 
 func BenchmarkFig10JCTComparison(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig10(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		min, max := r.Rows[0].DelayGainP, r.Rows[0].DelayGainP
-		for _, row := range r.Rows {
-			if row.DelayGainP < min {
-				min = row.DelayGainP
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig10(cfg)
+			if err != nil {
+				b.Fatal(err)
 			}
-			if row.DelayGainP > max {
-				max = row.DelayGainP
+			min, max := r.Rows[0].DelayGainP, r.Rows[0].DelayGainP
+			for _, row := range r.Rows {
+				if row.DelayGainP < min {
+					min = row.DelayGainP
+				}
+				if row.DelayGainP > max {
+					max = row.DelayGainP
+				}
 			}
+			b.ReportMetric(min, "%gain-min")
+			b.ReportMetric(max, "%gain-max")
 		}
-		b.ReportMetric(min, "%gain-min")
-		b.ReportMetric(max, "%gain-max")
-	}
+	})
 }
 
 func BenchmarkFig11Breakdowns(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig11(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig11(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkFig12UtilSeries(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig12(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkFig13Occupancy(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig13(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig13(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkFig14TraceReplay(b *testing.B) {
 	cfg := benchCfg()
 	cfg.TraceJobs = 60
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig14(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig14(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fuxi, def := r.Rows[0].MeanJCT, r.Rows[2].MeanJCT
+			b.ReportMetric(100*(fuxi-def)/fuxi, "%mean-JCT-gain-vs-Fuxi")
 		}
-		fuxi, def := r.Rows[0].MeanJCT, r.Rows[2].MeanJCT
-		b.ReportMetric(100*(fuxi-def)/fuxi, "%mean-JCT-gain-vs-Fuxi")
-	}
+	})
 }
 
 func BenchmarkFig15Alg1Scaling(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig15(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig15(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Points[len(r.Points)-1].ModelMs, "ms-at-186-stages")
 		}
-		b.ReportMetric(r.Points[len(r.Points)-1].ModelMs, "ms-at-186-stages")
-	}
+	})
 }
 
 func BenchmarkFig16Breakdowns(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig16(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig16(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Triangle.LongestPathGainP, "%tri-region-gain")
 		}
-		b.ReportMetric(r.Triangle.LongestPathGainP, "%tri-region-gain")
-	}
+	})
 }
 
 func BenchmarkFig17UtilSeries(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig17(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig17(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkTable3WorkerUsage(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Table3(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 func BenchmarkTable4ReplayUtilization(b *testing.B) {
 	cfg := benchCfg()
 	cfg.TraceJobs = 60
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table4(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Table4(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Rows[2].AvgCPUUtil*100, "%default-CPU-util")
 		}
-		b.ReportMetric(r.Rows[2].AvgCPUUtil*100, "%default-CPU-util")
-	}
+	})
 }
 
 func BenchmarkAppendixA2ModelAccuracy(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.AppendixA2(cfg)
-		if err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.AppendixA2(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.MaxE*100, "%max-error")
 		}
-		b.ReportMetric(r.MaxE*100, "%max-error")
-	}
+	})
 }
 
 func BenchmarkOverheadAlg1AndProfiling(b *testing.B) {
 	cfg := benchCfg()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Overhead(cfg); err != nil {
-			b.Fatal(err)
+	timed(b, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Overhead(cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 // --- Ablation benches (DESIGN.md "Key design decisions") ---

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-scale f] [-nodes n] [-trace-jobs n] [-reps n] [-seed n]
-//	            [-only fig10,table3,...] [-timeout d]
+//	            [-parallelism n] [-only fig10,table3,...] [-timeout d]
 package main
 
 import (
@@ -73,13 +73,14 @@ func main() {
 	traceJobs := flag.Int("trace-jobs", 600, "jobs in trace-driven experiments")
 	reps := flag.Int("reps", 5, "repetitions for error bars")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallelism := flag.Int("parallelism", 1, "worker count for independent experiment cells (output is bit-identical at any setting)")
 	only := flag.String("only", "", "comma-separated subset (fig2..fig17, table3, table4, a2, overhead, geo, online, sensitivity, fault)")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock guard (0 = none); an experiment past it is abandoned with a partial-results warning")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Scale: *scale, Nodes: *nodes, TraceJobs: *traceJobs,
-		Reps: *reps, Seed: *seed, W: os.Stdout,
+		Reps: *reps, Seed: *seed, Parallelism: *parallelism, W: os.Stdout,
 	}
 	runners := map[string]func(experiments.Config) error{}
 	var order []string

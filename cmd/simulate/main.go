@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	simulate [-workload TriangleCount] [-strategy delaystage|spark|aggshuffle|fuxi] [-nodes 30] [-scale 1.0]
+//	simulate [-workload TriangleCount] [-strategy delaystage|spark|aggshuffle|fuxi] [-nodes 30] [-scale 1.0] [-parallelism n]
 //	simulate -spec job.json -strategy delaystage
 //	simulate -fault-rate 0.1 -straggler-frac 0.25 -straggler-factor 3 -guarded
 //	simulate -crash-node 1 -crash-at 120 -fault-seed 7 -max-retries 4
@@ -39,6 +39,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the fault injector's deterministic draws")
 	maxRetries := flag.Int("max-retries", 0, "attempts per partition before the job fails (0 = default 4)")
 	guarded := flag.Bool("guarded", false, "attach the runtime watchdog to a delaystage strategy (cancels stale delays)")
+	parallelism := flag.Int("parallelism", 1, "goroutines for the delaystage candidate scan (plan is bit-identical at any setting)")
 	flag.Parse()
 
 	c := cluster.NewM4LargeCluster(*nodes)
@@ -72,11 +73,11 @@ func main() {
 	case "fuxi":
 		strat = scheduler.Fuxi{}
 	case "delaystage":
-		strat = scheduler.DelayStage{}
+		strat = scheduler.DelayStage{Parallelism: *parallelism}
 	case "delaystage-ascending":
-		strat = scheduler.DelayStage{Order: core.Ascending}
+		strat = scheduler.DelayStage{Order: core.Ascending, Parallelism: *parallelism}
 	case "delaystage-random":
-		strat = scheduler.DelayStage{Order: core.Random}
+		strat = scheduler.DelayStage{Order: core.Random, Parallelism: *parallelism}
 	default:
 		log.Fatalf("unknown strategy %q", *stratName)
 	}

@@ -15,6 +15,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"delaystage/internal/cluster"
@@ -78,6 +80,12 @@ type Options struct {
 	// guarded scheduler replanning at runtime must answer fast or not at
 	// all. Zero means unbounded.
 	Budget time.Duration
+	// Parallelism evaluates a stage's delay candidates on that many
+	// goroutines (each on its own Evaluator clone). The argmin reduce
+	// replays the sequential comparison in candidate order, so the
+	// schedule is bit-identical to the sequential scan at any setting.
+	// Zero or one means sequential.
+	Parallelism int
 }
 
 // Schedule is Alg. 1's output.
@@ -113,6 +121,11 @@ type Evaluator interface {
 	// SetActive restricts evaluation to the given stages (nil = all).
 	SetActive(active map[dag.StageID]bool) error
 	Makespan(delays map[dag.StageID]float64) (float64, error)
+	// Clone returns an evaluator sharing this one's immutable inputs and
+	// active set but owning any mutable scratch, so concurrent Makespan
+	// calls on distinct clones are safe. Clones are scan-scoped: SetActive
+	// must not be called on the parent while clones are evaluating.
+	Clone() Evaluator
 }
 
 // Compute runs Alg. 1 on the job and returns the delay schedule X.
@@ -322,22 +335,44 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 		upper = 0
 	}
 	bestDelay := incumbent
-	for ci, x := range candidates(upper, opt.SlotSeconds, opt.MaxCandidates) {
-		if x == incumbent && had {
-			continue // already measured as base
-		}
-		if !deadline.IsZero() && ci%8 == 0 && time.Now().After(deadline) {
-			return errBudget
-		}
-		sched.Delays[kid] = x
-		mk, err := ev.Makespan(sched.Delays)
+	cands := candidates(upper, opt.SlotSeconds, opt.MaxCandidates)
+	if opt.Parallelism > 1 && len(cands) > 1 {
+		// Evaluate every candidate concurrently, then replay the argmin
+		// comparison sequentially in candidate order — the same floats
+		// compared in the same order as the sequential loop below, so the
+		// chosen delay (ties included) is bit-identical.
+		mks, evals, err := scanParallel(ev, sched.Delays, kid, incumbent, had, cands, opt.Parallelism, deadline)
 		if err != nil {
 			return err
 		}
-		sched.Evaluations++
-		if mk < best-1e-9 {
-			best = mk
-			bestDelay = x
+		sched.Evaluations += evals
+		for ci, x := range cands {
+			if x == incumbent && had {
+				continue // already measured as base
+			}
+			if mk := mks[ci]; mk < best-1e-9 {
+				best = mk
+				bestDelay = x
+			}
+		}
+	} else {
+		for ci, x := range cands {
+			if x == incumbent && had {
+				continue // already measured as base
+			}
+			if !deadline.IsZero() && ci%8 == 0 && time.Now().After(deadline) {
+				return errBudget
+			}
+			sched.Delays[kid] = x
+			mk, err := ev.Makespan(sched.Delays)
+			if err != nil {
+				return err
+			}
+			sched.Evaluations++
+			if mk < best-1e-9 {
+				best = mk
+				bestDelay = x
+			}
 		}
 	}
 	if globalBest != nil && best < *globalBest {
@@ -349,6 +384,71 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 		sched.Delays[kid] = bestDelay
 	}
 	return nil
+}
+
+// scanParallel fans a stage's candidate evaluations out over min(workers,
+// len(cands)) goroutines, each with its own Evaluator clone and private
+// copy of the delay map. It returns the per-candidate makespans (indexed
+// like cands) and how many evaluations ran. Work is handed out by an
+// atomic counter; any worker error stops the scan, and a spent deadline
+// surfaces as errBudget exactly as in the sequential loop.
+func scanParallel(ev Evaluator, delays map[dag.StageID]float64, kid dag.StageID,
+	incumbent float64, had bool, cands []float64, workers int, deadline time.Time) ([]float64, int, error) {
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	mks := make([]float64, len(cands))
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var evals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wev := ev.Clone()
+			d := make(map[dag.StageID]float64, len(delays)+1)
+			for id, v := range delays {
+				d[id] = v
+			}
+			for !stop.Load() {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(cands) {
+					return
+				}
+				x := cands[ci]
+				if x == incumbent && had {
+					continue // already measured as base
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					errs[w] = errBudget
+					stop.Store(true)
+					return
+				}
+				d[kid] = x
+				mk, err := wev.Makespan(d)
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				mks[ci] = mk
+				evals.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && (firstErr == nil || firstErr == errBudget) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, int(evals.Load()), firstErr
+	}
+	return mks, int(evals.Load()), nil
 }
 
 // candidates returns the slotted delay candidates in [0, upper]. The slot

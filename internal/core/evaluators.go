@@ -62,6 +62,14 @@ func newSimEvaluator(c *cluster.Cluster, job *workload.Job, k []dag.StageID) *si
 	return &simEvaluator{coarse: sim.Coarsen(c), job: job, cur: job, inK: inK}
 }
 
+// Clone returns a concurrency-safe copy: every field is read-only during
+// Makespan (each call runs a fresh engine on a private delay map), so a
+// shallow copy suffices.
+func (e *simEvaluator) Clone() Evaluator {
+	c := *e
+	return &c
+}
+
 func (e *simEvaluator) SetActive(active map[dag.StageID]bool) error {
 	sub, err := restrictJob(e.job, active)
 	if err != nil {
@@ -170,6 +178,19 @@ func newModelEvaluator(m *perfmodel.Model, job *workload.Job, reach *dag.Reachab
 		e.activeIdx[i] = true
 	}
 	return e
+}
+
+// Clone returns a copy whose layout scratch (bounds, stretch, coverage
+// events) is private, so concurrent Makespan calls on distinct clones are
+// safe. The immutable inputs (topo, profiles, parent indices) and the
+// active set — fixed for the clone's scan-scoped lifetime — are shared.
+func (e *modelEvaluator) Clone() Evaluator {
+	c := *e
+	n := len(e.topo)
+	c.bounds = make([][4]float64, n)
+	c.stretch = make([][3]float64, n)
+	c.covScratch = nil
+	return &c
 }
 
 func (e *modelEvaluator) SetActive(active map[dag.StageID]bool) error {

@@ -32,6 +32,11 @@ type Graph struct {
 	stages   map[StageID]*Stage
 	children map[StageID][]StageID
 	order    []StageID // insertion order, for deterministic iteration
+	// validated marks that the child index matches the current stage set,
+	// making repeated Validate calls read-only — and therefore safe from
+	// concurrent evaluators hammering the same job (sim.Run validates on
+	// every what-if evaluation).
+	validated bool
 }
 
 // New returns an empty graph.
@@ -63,6 +68,7 @@ func (g *Graph) AddStage(s Stage) error {
 	cp.Parents = append([]StageID(nil), s.Parents...)
 	g.stages[s.ID] = &cp
 	g.order = append(g.order, s.ID)
+	g.validated = false
 	return nil
 }
 
@@ -85,6 +91,12 @@ func (g *Graph) Stages() []StageID {
 	return append([]StageID(nil), g.order...)
 }
 
+// StagesView returns the insertion-order stage IDs WITHOUT copying.
+// Callers must treat the slice as read-only; it is invalidated by the
+// next AddStage. Hot paths (the simulator builds per-run state for every
+// what-if evaluation) use it to avoid per-call allocation.
+func (g *Graph) StagesView() []StageID { return g.order }
+
 // Parents returns the parent IDs of id (nil if unknown).
 func (g *Graph) Parents(id StageID) []StageID {
 	s := g.stages[id]
@@ -100,21 +112,34 @@ func (g *Graph) Children(id StageID) []StageID {
 	return append([]StageID(nil), g.children[id]...)
 }
 
+// ChildrenView returns id's child index slice WITHOUT copying. Callers
+// must treat it as read-only; Validate must have run for the index to be
+// populated. Same hot-path rationale as StagesView.
+func (g *Graph) ChildrenView(id StageID) []StageID { return g.children[id] }
+
 // Validate checks referential integrity and acyclicity and (re)builds the
 // child index. It must be called after the last AddStage and before any
-// analysis method.
+// analysis method. Once a graph has validated, further calls are read-only
+// no-ops until the next AddStage.
 func (g *Graph) Validate() error {
-	g.children = make(map[StageID][]StageID, len(g.stages))
+	if g.validated {
+		return nil
+	}
+	children := make(map[StageID][]StageID, len(g.stages))
 	for _, id := range g.order {
 		for _, p := range g.stages[id].Parents {
 			if _, ok := g.stages[p]; !ok {
 				return fmt.Errorf("%w: stage %d references parent %d", ErrUnknownStage, id, p)
 			}
-			g.children[p] = append(g.children[p], id)
+			children[p] = append(children[p], id)
 		}
 	}
-	_, err := g.TopoSort()
-	return err
+	g.children = children
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	g.validated = true
+	return nil
 }
 
 // TopoSort returns the stage IDs in a topological order (parents before

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The experiment grid must not depend on how many workers evaluate it:
+// every stochastic draw happens sequentially up front and the cells are
+// pure, so the rendered output AND the typed results must be byte-for-byte
+// identical at parallelism 1 and N. The sweep covers each parallelized
+// experiment, including FaultSweep cells with task failures, stragglers,
+// and a node crash (the guarded-strategy path). Run with -race to also
+// certify the fan-out is race-clean.
+func TestParallelismByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment sweep")
+	}
+	type run struct {
+		name string
+		do   func(Config) (interface{}, error)
+	}
+	runs := []run{
+		{"Fig4", func(c Config) (interface{}, error) { return Fig4(c) }},
+		{"Fig10", func(c Config) (interface{}, error) { return Fig10(c) }},
+		{"Fig14", func(c Config) (interface{}, error) { return Fig14(c) }},
+		{"FaultSweep", func(c Config) (interface{}, error) { return FaultSweep(c) }},
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			t.Parallel()
+			var base []byte
+			var baseText string
+			for _, par := range []int{1, 8} {
+				var w bytes.Buffer
+				cfg := Config{Scale: 0.1, Nodes: 10, TraceJobs: 20, Reps: 2, Seed: 7,
+					Parallelism: par, W: &w}
+				res, err := r.do(cfg)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				buf, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par == 1 {
+					base, baseText = buf, w.String()
+					continue
+				}
+				if !bytes.Equal(buf, base) {
+					t.Errorf("parallelism %d: JSON result differs from sequential\nseq: %s\npar: %s", par, base, buf)
+				}
+				if w.String() != baseText {
+					t.Errorf("parallelism %d: rendered output differs from sequential\nseq:\n%s\npar:\n%s", par, baseText, w.String())
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/dag"
@@ -38,6 +40,12 @@ type Config struct {
 	// Reps is the repetition count for error bars (default 5, as in the
 	// paper).
 	Reps int
+	// Parallelism is the worker count used to evaluate independent grid
+	// cells (workload × strategy × rep, fault-sweep points, trace groups).
+	// 0/1 runs everything sequentially. Results are bit-identical at any
+	// setting: every stochastic draw happens sequentially up front and the
+	// parallel cells are pure functions reduced in index order.
+	Parallelism int
 	// W receives the rendered output (default io.Discard).
 	W io.Writer
 }
@@ -54,6 +62,9 @@ func (c *Config) defaults() {
 	}
 	if c.Reps <= 0 {
 		c.Reps = 5
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
 	}
 	if c.W == nil {
 		c.W = io.Discard
@@ -92,6 +103,50 @@ func jitterCluster(base *cluster.Cluster, rng *rand.Rand, frac float64) *cluster
 		out.Nodes[i].NetBW *= 1 + (rng.Float64()*2-1)*frac
 	}
 	return out
+}
+
+// forEach runs fn(i) for i in [0, n) on up to `parallelism` goroutines.
+// fn must be a pure function of i writing only slots it owns (indexed
+// result slices); callers reduce those slots in index order afterwards, so
+// output is independent of scheduling. With parallelism ≤ 1 it is a plain
+// sequential loop that stops at the first error; in parallel mode every
+// claimed cell still runs and the lowest-index error is returned, keeping
+// the reported failure deterministic.
+func forEach(parallelism, n int, fn func(i int) error) error {
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	var next atomic.Int64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fprintf writes to the experiment's writer, ignoring errors (the writer

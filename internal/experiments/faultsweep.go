@@ -96,55 +96,72 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 		100*out.MispredictNoise)
 	fprintf(cfg.W, "%-26s %-10s %-10s %-10s %-10s\n", "point / workload", "spark", "delaystage", "guarded", "guard-win%")
 
+	// Every (grid point, workload) cell derives its fault set from
+	// cfg.Seed + pi*101 and reads only the sequentially-computed plans
+	// above, so the grid fans out; rows are collected indexed and rendered
+	// in the original order afterwards.
+	rows := make([]map[string]float64, len(faultSweepGrid)*len(workloadNames))
+	err = forEach(cfg.Parallelism, len(rows), func(ci int) error {
+		pi := ci / len(workloadNames)
+		g := faultSweepGrid[pi]
+		name := workloadNames[ci%len(workloadNames)]
+		job := jobs[name]
+		pl := plans[name]
+		row := map[string]float64{}
+		var crashes []faults.NodeCrash
+		if g.crashFrac > 0 {
+			crashes = []faults.NodeCrash{{Node: 1, At: g.crashFrac * cleanJCT[name]}}
+		}
+		for _, label := range []string{"spark", "delaystage", "guarded"} {
+			// The same hash-seeded injector for all strategies: every
+			// run sees the identical fault set.
+			inj, err := faults.NewInjector(faults.FaultPlan{
+				Seed:            cfg.Seed + int64(pi)*101,
+				TaskFailureProb: g.failProb,
+				StragglerFrac:   g.frac,
+				StragglerFactor: g.factor,
+				Crashes:         crashes,
+			})
+			if err != nil {
+				return err
+			}
+			opt := sim.Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8}
+			run := sim.JobRun{Job: job}
+			switch label {
+			case "delaystage":
+				run.Delays = pl.ds.Delays
+			case "guarded":
+				run.Delays = pl.ds.Delays
+				// Guards are stateful: a fresh one per run, primed with
+				// the (noisy) profiles the planner believed.
+				wd, err := scheduler.GuardedDelayStage{}.WatchdogFor(c, pl.believed, pl.ds)
+				if err != nil {
+					return err
+				}
+				opt.Watchdog = wd
+			}
+			res, err := sim.Run(opt, []sim.JobRun{run})
+			if err != nil {
+				return err
+			}
+			if ferr := res.Failed(0); ferr != nil {
+				return ferr
+			}
+			row[label] = res.JCT(0)
+		}
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	for pi, g := range faultSweepGrid {
 		pt := FaultPoint{FailProb: g.failProb, StragglerFrac: g.frac, StragglerFactor: g.factor,
 			CrashFrac: g.crashFrac, JCT: map[string]map[string]float64{}}
 		fprintf(cfg.W, "fail=%.2f straggle=%.2fx%g crash=%.2f\n", g.failProb, g.frac, g.factor, g.crashFrac)
-		for _, name := range workloadNames {
-			job := jobs[name]
-			pl := plans[name]
-			row := map[string]float64{}
-			var crashes []faults.NodeCrash
-			if g.crashFrac > 0 {
-				crashes = []faults.NodeCrash{{Node: 1, At: g.crashFrac * cleanJCT[name]}}
-			}
-			for _, label := range []string{"spark", "delaystage", "guarded"} {
-				// The same hash-seeded injector for all strategies: every
-				// run sees the identical fault set.
-				inj, err := faults.NewInjector(faults.FaultPlan{
-					Seed:            cfg.Seed + int64(pi)*101,
-					TaskFailureProb: g.failProb,
-					StragglerFrac:   g.frac,
-					StragglerFactor: g.factor,
-					Crashes:         crashes,
-				})
-				if err != nil {
-					return nil, err
-				}
-				opt := sim.Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8}
-				run := sim.JobRun{Job: job}
-				switch label {
-				case "delaystage":
-					run.Delays = pl.ds.Delays
-				case "guarded":
-					run.Delays = pl.ds.Delays
-					// Guards are stateful: a fresh one per run, primed with
-					// the (noisy) profiles the planner believed.
-					wd, err := scheduler.GuardedDelayStage{}.WatchdogFor(c, pl.believed, pl.ds)
-					if err != nil {
-						return nil, err
-					}
-					opt.Watchdog = wd
-				}
-				res, err := sim.Run(opt, []sim.JobRun{run})
-				if err != nil {
-					return nil, err
-				}
-				if ferr := res.Failed(0); ferr != nil {
-					return nil, ferr
-				}
-				row[label] = res.JCT(0)
-			}
+		for wi, name := range workloadNames {
+			row := rows[pi*len(workloadNames)+wi]
 			pt.JCT[name] = row
 			win := 100 * (row["spark"] - row["guarded"]) / row["spark"]
 			fprintf(cfg.W, "  %-24s %-10.1f %-10.1f %-10.1f %+.1f\n",

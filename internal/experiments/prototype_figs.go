@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"delaystage/internal/cluster"
 	"delaystage/internal/core"
 	"delaystage/internal/dag"
 	"delaystage/internal/metrics"
@@ -50,44 +51,62 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 	base := cfg.cluster()
 	out := &Fig10Result{}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, name := range workloadNames {
+	// Run-to-run variance: EC2 network bandwidth fluctuates a few percent
+	// between runs (the paper repeats five times and reports error bars).
+	// All stochastic draws happen here, sequentially, in the original
+	// workload × rep nesting order; the grid cells below are then pure
+	// functions of their predrawn cluster and can run on any worker.
+	clusters := make([]*cluster.Cluster, len(workloadNames)*cfg.Reps)
+	for i := range clusters {
+		clusters[i] = jitterCluster(base, rng, 0.03)
+	}
+	type cell struct{ spark, agg, delay float64 }
+	cells := make([]cell, len(clusters))
+	err := forEach(cfg.Parallelism, len(cells), func(i int) error {
+		name := workloadNames[i/cfg.Reps]
+		rep := i % cfg.Reps
+		seed := cfg.Seed + int64(rep)*101
+		// The job's data volumes are fixed (built against the nominal
+		// cluster); only the run's bandwidths fluctuate.
+		c := clusters[i]
+		truth := workload.PaperWorkloads(base, cfg.Scale)[name]
+		// Spark and AggShuffle do not depend on profiling.
+		sres, _, err := runUnder(c, truth, scheduler.Spark{}, sim.Options{TrackNode: -1})
+		if err != nil {
+			return err
+		}
+		ares, _, err := runUnder(c, truth, scheduler.AggShuffle{}, sim.Options{TrackNode: -1})
+		if err != nil {
+			return err
+		}
+		// DelayStage plans on profiled (noisy) parameters but runs
+		// against the true job.
+		prof, err := profiler.ProfileJob(truth, profiler.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		sched, err := core.Compute(core.Options{Cluster: c}, prof.Estimated)
+		if err != nil {
+			return err
+		}
+		dres, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1},
+			[]sim.JobRun{{Job: truth, Delays: sched.Delays}})
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{spark: sres.JCT(0), agg: ares.JCT(0), delay: dres.JCT(0)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, name := range workloadNames {
 		var spark, agg, delay []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
-			seed := cfg.Seed + int64(rep)*101
-			// Run-to-run variance: EC2 network bandwidth fluctuates a few
-			// percent between runs (the paper repeats five times and
-			// reports error bars).
-			// The job's data volumes are fixed (built against the nominal
-			// cluster); only the run's bandwidths fluctuate.
-			c := jitterCluster(base, rng, 0.03)
-			truth := workload.PaperWorkloads(base, cfg.Scale)[name]
-			// Spark and AggShuffle do not depend on profiling.
-			sres, _, err := runUnder(c, truth, scheduler.Spark{}, sim.Options{TrackNode: -1})
-			if err != nil {
-				return nil, err
-			}
-			ares, _, err := runUnder(c, truth, scheduler.AggShuffle{}, sim.Options{TrackNode: -1})
-			if err != nil {
-				return nil, err
-			}
-			// DelayStage plans on profiled (noisy) parameters but runs
-			// against the true job.
-			prof, err := profiler.ProfileJob(truth, profiler.Options{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			sched, err := core.Compute(core.Options{Cluster: c}, prof.Estimated)
-			if err != nil {
-				return nil, err
-			}
-			dres, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1},
-				[]sim.JobRun{{Job: truth, Delays: sched.Delays}})
-			if err != nil {
-				return nil, err
-			}
-			spark = append(spark, sres.JCT(0))
-			agg = append(agg, ares.JCT(0))
-			delay = append(delay, dres.JCT(0))
+			cl := cells[wi*cfg.Reps+rep]
+			spark = append(spark, cl.spark)
+			agg = append(agg, cl.agg)
+			delay = append(delay, cl.delay)
 		}
 		row := Fig10Row{
 			Workload:  name,

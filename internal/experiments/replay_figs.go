@@ -74,9 +74,15 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 
 	out := &Fig14Result{}
 	for _, strat := range replayLineup {
-		jcts := make([]float64, 0, len(prepared))
-		var cpuInt, netInt, timeInt float64
-		for i, pj := range prepared {
+		// Every (strategy, job) cell is a pure function of the prepared
+		// slice/workload and a per-job planner seed, so the job loop fans
+		// out; the utilization integrals are accumulated afterwards in job
+		// order to keep the floating-point sums bit-identical.
+		strat := strat
+		type jobOutcome struct{ jct, cpu, net float64 }
+		outcomes := make([]jobOutcome, len(prepared))
+		err := forEach(cfg.Parallelism, len(prepared), func(i int) error {
+			pj := prepared[i]
 			var delays map[dag.StageID]float64
 			if !strat.fuxi {
 				mc := 16
@@ -90,20 +96,28 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 					MaxCandidates: mc,
 				}, pj.wl)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				delays = sched.Delays
 			}
 			res, err := sim.Run(sim.Options{Cluster: pj.slice, TrackNode: -1},
 				[]sim.JobRun{{Job: pj.wl, Delays: delays}})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			jct := res.JCT(0)
-			jcts = append(jcts, jct)
-			cpuInt += res.AvgCPUUtil * jct
-			netInt += res.AvgNetUtil * jct
-			timeInt += jct
+			outcomes[i] = jobOutcome{jct: res.JCT(0), cpu: res.AvgCPUUtil, net: res.AvgNetUtil}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		jcts := make([]float64, 0, len(prepared))
+		var cpuInt, netInt, timeInt float64
+		for _, o := range outcomes {
+			jcts = append(jcts, o.jct)
+			cpuInt += o.cpu * o.jct
+			netInt += o.net * o.jct
+			timeInt += o.jct
 		}
 		out.Rows = append(out.Rows, Fig14Row{
 			Strategy:   strat.name,
@@ -162,14 +176,14 @@ func Fig15(cfg Config) (*Fig15Result, error) {
 	for _, n := range []int{10, 20, 40, 80, 120, 160, 186} {
 		job := workload.RandomJob("fig15", c, n, rng)
 		t0 := time.Now()
-		if _, err := core.Compute(core.Options{Cluster: c, UseModelEvaluator: true, MaxCandidates: 12, RefinePasses: -1}, job); err != nil {
+		if _, err := core.Compute(core.Options{Cluster: c, UseModelEvaluator: true, MaxCandidates: 12, RefinePasses: -1, Parallelism: cfg.Parallelism}, job); err != nil {
 			return nil, err
 		}
 		modelMs := float64(time.Since(t0).Microseconds()) / 1000
 		simMs := 0.0
 		if n <= 40 {
 			t0 = time.Now()
-			if _, err := core.Compute(core.Options{Cluster: c, MaxCandidates: 12}, job); err != nil {
+			if _, err := core.Compute(core.Options{Cluster: c, MaxCandidates: 12, Parallelism: cfg.Parallelism}, job); err != nil {
 				return nil, err
 			}
 			simMs = float64(time.Since(t0).Microseconds()) / 1000

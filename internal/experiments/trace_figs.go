@@ -97,9 +97,14 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	ref := sim.Coarsen(cluster.NewM4LargeCluster(4))
 
 	bin := span / 48
-	var groupCPU, groupNet [][]float64
 	end := span * 1.5
-	for g := 0; g < groups; g++ {
+	// Machine groups partition the trace's jobs deterministically (i mod
+	// groups) and simulate independent sub-clusters, so they run on the
+	// worker pool; results collect into per-group slots and empty groups
+	// are dropped in group order afterwards.
+	cpuByGroup := make([][]float64, groups)
+	netByGroup := make([][]float64, groups)
+	err := forEach(cfg.Parallelism, groups, func(g int) error {
 		var runs []sim.JobRun
 		for i := range tr.Jobs {
 			if i%groups != g {
@@ -108,24 +113,36 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 			j := &tr.Jobs[i]
 			wj, err := j.Workload(ref, trace.DefaultSplit, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			runs = append(runs, sim.JobRun{Job: wj, Arrival: j.Arrival})
 		}
 		if len(runs) == 0 {
-			continue
+			return nil
 		}
 		res, err := sim.Run(sim.Options{Cluster: ref, TrackNode: -1, TrackCluster: true, FairByJob: true}, runs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cpu := metrics.ResampleStep(seriesToStepPoints(res.Cluster.CPUBusy), 0, end, bin)
 		net := metrics.ResampleStep(seriesToStepPoints(res.Cluster.NetRate), 0, end, bin)
 		for i := range net {
 			net[i] /= ref.TotalNetBW()
 		}
-		groupCPU = append(groupCPU, cpu)
-		groupNet = append(groupNet, net)
+		cpuByGroup[g] = cpu
+		netByGroup[g] = net
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var groupCPU, groupNet [][]float64
+	for g := 0; g < groups; g++ {
+		if cpuByGroup[g] == nil {
+			continue
+		}
+		groupCPU = append(groupCPU, cpuByGroup[g])
+		groupNet = append(groupNet, netByGroup[g])
 	}
 	r := &Fig4Result{BinSeconds: bin}
 	nBins := len(groupCPU[0])

@@ -229,6 +229,7 @@ func (g *guard) replan(job int) []sim.DelayUpdate {
 		UseModelEvaluator: g.inner.UseModelEvaluator,
 		SlotSeconds:       g.inner.SlotSeconds,
 		MaxCandidates:     g.inner.MaxCandidates,
+		Parallelism:       g.inner.Parallelism,
 		Budget:            g.budget,
 	}, scaled)
 	if err != nil || s.BudgetExceeded {

@@ -87,6 +87,9 @@ type DelayStage struct {
 	// SlotSeconds / MaxCandidates tune the delay scan (0 = defaults).
 	SlotSeconds   float64
 	MaxCandidates int
+	// Parallelism evaluates delay candidates on that many goroutines
+	// (0/1 = sequential). The plan is bit-identical at any setting.
+	Parallelism int
 }
 
 // Name implements Strategy.
@@ -106,6 +109,7 @@ func (d DelayStage) Plan(c *cluster.Cluster, job *workload.Job) (Plan, error) {
 		UseModelEvaluator: d.UseModelEvaluator,
 		SlotSeconds:       d.SlotSeconds,
 		MaxCandidates:     d.MaxCandidates,
+		Parallelism:       d.Parallelism,
 	}, job)
 	if err != nil {
 		return Plan{}, err

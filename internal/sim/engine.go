@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -13,7 +12,11 @@ import (
 // events every item's rate is constant; an event is the earliest of: an
 // item completing, a timer firing (job arrival / delayed stage
 // submission), or an availability-capped prefetch catching up with its
-// cap. After each event all rates are recomputed.
+// cap. After each event rates are recomputed — but only on nodes whose
+// item set or availability cap changed since the last event (dirty
+// tracking): a node whose consumer set is unchanged keeps its previous
+// rates, which are a pure function of that set and therefore already
+// bit-identical to what a recomputation would produce.
 
 type phase uint8
 
@@ -41,7 +44,8 @@ type skey struct {
 // item is one fluid work unit: a phase of one stage's partition on one node.
 type item struct {
 	key  skey
-	node int // index into engine.nodes
+	st   *stageState // owning stage, avoiding a states-map lookup per touch
+	node int         // index into engine.nodes
 	ph   phase
 
 	remaining float64 // bytes left
@@ -148,23 +152,58 @@ const (
 	tNodeCrash // lose a node's in-flight tasks and stored shuffle outputs
 )
 
+// timerHeap is a binary min-heap of timers ordered by (at, seq). It is
+// typed end to end — no container/heap interface{} boxing, which churned
+// one allocation per push in long trace replays.
 type timerHeap []timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t timer) before(o timer) bool {
+	if t.at != o.at {
+		return t.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return t.seq < o.seq
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// push inserts a timer, sifting it up to its heap position.
+func (h *timerHeap) push(t timer) {
+	*h = append(*h, t)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest timer.
+func (h *timerHeap) pop() timer {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s[l].before(s[least]) {
+			least = l
+		}
+		if r < n && s[r].before(s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 type engine struct {
@@ -178,10 +217,29 @@ type engine struct {
 	totalExec, totalNet, totalDisk float64
 
 	states map[skey]*stageState
-	items  []*item
-	timers timerHeap
-	seq    int
-	now    float64
+	// stateList holds the stage states in (job, stage) order: map
+	// iteration order is randomized per process, and iterating e.states
+	// directly in maybePrefetch would submit prefetches — and thus append
+	// items — in a run-to-run random order, perturbing the floating-point
+	// accumulation downstream.
+	stateList []*stageState
+	items     []*item
+	timers    timerHeap
+	seq       int
+	now       float64
+
+	// Per-node, per-phase item buckets, maintained incrementally as items
+	// are added and removed so the rates pass does not rebuild them every
+	// event. Bucket order is the e.items subsequence order, preserving
+	// the exact accumulation order of the pre-dirty-tracking engine.
+	computeBk [][]*item
+	readBk    [][]*item
+	writeBk   [][]*item
+	// dirty[w] marks that node w's consumer set for the phase changed
+	// since its rates were last computed.
+	dirtyC []bool
+	dirtyR []bool
+	dirtyW []bool
 
 	res *Result
 
@@ -198,6 +256,20 @@ type engine struct {
 	jobsLeft   int    // jobs neither complete nor failed
 	failed     []bool // per-job abort flag
 	recomps    map[recompKey]*recompState
+
+	// Scratch buffers reused across events (the engine is single-threaded;
+	// each is live only within one helper call).
+	itemPool         []*item
+	shareScratch     []float64
+	demandScratch    []float64
+	weightScratch    []float64
+	wfAlloc          []float64
+	wfActive         []int
+	busyScratch      []float64
+	doneScratch      []*item
+	deadScratch      []*item
+	perJobScratch    map[int]int
+	stageRateScratch map[skey]float64
 }
 
 // recompKey identifies one lineage recomputation: the producing stage's
@@ -214,10 +286,14 @@ type recompState struct {
 }
 
 func newEngine(opt Options, runs []JobRun) *engine {
+	totalStages := 0
+	for _, r := range runs {
+		totalStages += r.Job.Graph.Len()
+	}
 	e := &engine{
 		opt:     opt,
 		runs:    runs,
-		states:  make(map[skey]*stageState),
+		states:  make(map[skey]*stageState, totalStages),
 		res:     &Result{JobEnd: make([]float64, len(runs)), JobStart: make([]float64, len(runs)), JobErrors: make([]error, len(runs))},
 		occOpen: make(map[skey]*OccupancySegment),
 		failed:  make([]bool, len(runs)),
@@ -232,12 +308,87 @@ func newEngine(opt Options, runs []JobRun) *engine {
 	e.totalExec = float64(opt.Cluster.TotalExecutors())
 	e.totalNet = opt.Cluster.TotalNetBW()
 	e.totalDisk = opt.Cluster.TotalDiskBW()
+	e.computeBk = make([][]*item, e.nNodes)
+	e.readBk = make([][]*item, e.nNodes)
+	e.writeBk = make([][]*item, e.nNodes)
+	e.dirtyC = make([]bool, e.nNodes)
+	e.dirtyR = make([]bool, e.nNodes)
+	e.dirtyW = make([]bool, e.nNodes)
+	e.busyScratch = make([]float64, e.nNodes)
+	e.perJobScratch = make(map[int]int)
+	e.stageRateScratch = make(map[skey]float64)
+	e.stateList = make([]*stageState, 0, totalStages)
+	e.items = make([]*item, 0, totalStages*e.nNodes)
 	return e
+}
+
+// newItem returns a zeroed item, recycled from the pool when possible.
+func (e *engine) newItem() *item {
+	if n := len(e.itemPool); n > 0 {
+		it := e.itemPool[n-1]
+		e.itemPool = e.itemPool[:n-1]
+		*it = item{}
+		return it
+	}
+	return &item{}
+}
+
+// freeItem returns a no-longer-referenced item to the pool.
+func (e *engine) freeItem(it *item) {
+	e.itemPool = append(e.itemPool, it)
+}
+
+// addItem registers a new work item with the master list and its node's
+// phase bucket, marking the node dirty for that resource.
+func (e *engine) addItem(it *item) {
+	e.items = append(e.items, it)
+	switch it.ph {
+	case phCompute:
+		e.computeBk[it.node] = append(e.computeBk[it.node], it)
+		e.dirtyC[it.node] = true
+	case phRead:
+		e.readBk[it.node] = append(e.readBk[it.node], it)
+		e.dirtyR[it.node] = true
+	case phWrite:
+		e.writeBk[it.node] = append(e.writeBk[it.node], it)
+		e.dirtyW[it.node] = true
+	}
+}
+
+// bucketRemove drops an item from its node's phase bucket (preserving
+// order) and marks the node dirty. The caller removes it from e.items.
+func (e *engine) bucketRemove(it *item) {
+	var bk []*item
+	switch it.ph {
+	case phCompute:
+		bk = e.computeBk[it.node]
+		e.dirtyC[it.node] = true
+	case phRead:
+		bk = e.readBk[it.node]
+		e.dirtyR[it.node] = true
+	case phWrite:
+		bk = e.writeBk[it.node]
+		e.dirtyW[it.node] = true
+	}
+	for i, b := range bk {
+		if b == it {
+			bk = append(bk[:i], bk[i+1:]...)
+			break
+		}
+	}
+	switch it.ph {
+	case phCompute:
+		e.computeBk[it.node] = bk
+	case phRead:
+		e.readBk[it.node] = bk
+	case phWrite:
+		e.writeBk[it.node] = bk
+	}
 }
 
 func (e *engine) pushTimer(at float64, kind timerKind, key skey, job int) {
 	e.seq++
-	heap.Push(&e.timers, timer{at: at, seq: e.seq, kind: kind, key: key, job: job})
+	e.timers.push(timer{at: at, seq: e.seq, kind: kind, key: key, job: job})
 }
 
 func (e *engine) setup() {
@@ -245,7 +396,7 @@ func (e *engine) setup() {
 	for ji, run := range e.runs {
 		e.res.JobStart[ji] = run.Arrival
 		g := run.Job.Graph
-		for _, sid := range g.Stages() {
+		for _, sid := range g.StagesView() {
 			p := run.Job.Profiles[sid]
 			st := &stageState{
 				key: skey{ji, sid},
@@ -256,16 +407,16 @@ func (e *engine) setup() {
 					skew:         p.Skew,
 					tasksPerNode: float64(p.Tasks) / n,
 				},
-				parentsLeft: len(g.Parents(sid)),
+				parentsLeft: len(g.Stage(sid).Parents),
 				tl:          StageTimeline{JobIndex: ji, Stage: sid},
 			}
 			st.computeTot = st.profile.perNodeIn * n
-			for _, c := range g.Children(sid) {
+			for _, c := range g.ChildrenView(sid) {
 				st.children = append(st.children, skey{ji, c})
 			}
 			// Availability weights over parents, proportional to parent
 			// shuffle-output size (fallback: equal).
-			parents := g.Parents(sid)
+			parents := g.Stage(sid).Parents
 			if len(parents) > 0 {
 				tot := 0.0
 				outs := make([]float64, len(parents))
@@ -283,15 +434,16 @@ func (e *engine) setup() {
 				}
 			}
 			e.states[st.key] = st
+			e.stateList = append(e.stateList, st)
 		}
-		e.stagesLeft = append(e.stagesLeft, len(g.Stages()))
+		e.stagesLeft = append(e.stagesLeft, g.Len())
 		e.pushTimer(run.Arrival, tJobArrival, skey{}, ji)
 	}
 	e.jobsLeft = len(e.runs)
 	if e.opt.Faults != nil {
 		for _, cr := range e.opt.Faults.Crashes() {
 			e.seq++
-			heap.Push(&e.timers, timer{at: cr.At, seq: e.seq, kind: tNodeCrash, node: cr.Node, job: -1})
+			e.timers.push(timer{at: cr.At, seq: e.seq, kind: tNodeCrash, node: cr.Node, job: -1})
 		}
 	}
 }
@@ -347,8 +499,9 @@ func (e *engine) submit(st *stageState, prefetch bool) {
 			e.finishRead(st, w)
 			continue
 		}
-		it := &item{key: st.key, node: w, ph: phRead, remaining: vol, volume: vol, capped: prefetch}
-		e.items = append(e.items, it)
+		it := e.newItem()
+		*it = item{key: st.key, st: st, node: w, ph: phRead, remaining: vol, volume: vol, capped: prefetch}
+		e.addItem(it)
 	}
 	if st.readsLeft == 0 {
 		// all zero-volume
@@ -390,9 +543,10 @@ func (e *engine) startCompute(st *stageState, node int) {
 		e.finishCompute(st, node)
 		return
 	}
-	it := &item{key: st.key, node: node, ph: phCompute, remaining: vol, volume: vol, attempt: 1}
+	it := e.newItem()
+	*it = item{key: st.key, st: st, node: node, ph: phCompute, remaining: vol, volume: vol, attempt: 1}
 	e.armCompute(it)
-	e.items = append(e.items, it)
+	e.addItem(it)
 }
 
 func (e *engine) finishCompute(st *stageState, node int) {
@@ -405,7 +559,9 @@ func (e *engine) finishCompute(st *stageState, node int) {
 		e.finishWrite(st, node)
 		return
 	}
-	e.items = append(e.items, &item{key: st.key, node: node, ph: phWrite, remaining: vol, volume: vol})
+	it := e.newItem()
+	*it = item{key: st.key, st: st, node: node, ph: phWrite, remaining: vol, volume: vol}
+	e.addItem(it)
 }
 
 func (e *engine) finishWrite(st *stageState, node int) {
@@ -476,12 +632,13 @@ func (e *engine) fireTimer(t timer) {
 }
 
 // maybePrefetch creates AggShuffle prefetch read items for stages whose
-// parents have all started computing.
+// parents have all started computing. Iterates stateList, not the states
+// map, so submissions happen in a deterministic (job, stage) order.
 func (e *engine) maybePrefetch() {
 	if !e.opt.AggShuffle {
 		return
 	}
-	for _, st := range e.states {
+	for _, st := range e.stateList {
 		if st.submitted || len(st.availParents) == 0 {
 			continue
 		}
@@ -535,104 +692,164 @@ func (e *engine) availability(st *stageState, computeRates map[skey]float64) (a,
 	return a, da
 }
 
-// computeRatesPass fills every item's rate. Returns per-stage total compute
-// rates (needed for availability derivatives) and per-node read counts.
+// computeRatesPass refreshes item rates on every dirty node. A node is
+// dirty when its item set changed (add/remove) or — for the read phase —
+// when it holds an availability-capped prefetch item, whose demand cap
+// moves with its parents' compute progress every event. Clean nodes keep
+// their previous rates: those are a pure function of the node's unchanged
+// consumer set, so skipping the recomputation is exact, not approximate.
 func (e *engine) computeRatesPass() {
 	// 1. Compute-phase rates: executors on a node are split equally among
 	//    the stages computing there (per job first if FairByJob).
-	computingByNode := make([][]*item, e.nNodes)
-	readsByNode := make([][]*item, e.nNodes)
-	writersByNode := make([][]*item, e.nNodes)
-	for _, it := range e.items {
-		switch it.ph {
-		case phCompute:
-			computingByNode[it.node] = append(computingByNode[it.node], it)
-		case phRead:
-			readsByNode[it.node] = append(readsByNode[it.node], it)
-		case phWrite:
-			writersByNode[it.node] = append(writersByNode[it.node], it)
-		}
-	}
-	stageComputeRate := make(map[skey]float64)
 	for w := 0; w < e.nNodes; w++ {
-		its := computingByNode[w]
-		if len(its) == 0 {
-			continue
-		}
-		// Nominal executor shares (no contention loss), then the cap: a
-		// stage cannot occupy more executors than it has tasks. The
-		// contention factor degrades throughput, not occupancy.
-		shares := e.fairSharesNominal(its, e.execs[w])
-		cf := e.contended(1, len(its))
-		for i, it := range its {
-			st := e.states[it.key]
-			share := shares[i]
-			if tpn := st.profile.tasksPerNode; tpn > 0 && share > tpn {
-				share = tpn
-			}
-			it.execUsed = share
-			it.rate = share * st.profile.procRate * cf
-			if it.slow > 1 {
-				it.rate /= it.slow
-			}
-			stageComputeRate[it.key] += it.rate
+		if e.dirtyC[w] {
+			e.computeNodeRates(w)
+			e.dirtyC[w] = false
 		}
 	}
 	// 2. Read-phase rates: max-min (water-filling) over each node's NIC,
-	//    demands limited by prefetch availability.
+	//    demands limited by prefetch availability. Per-stage total compute
+	//    rates (for availability derivatives) are only assembled when a
+	//    capped item actually needs them — i.e. never in non-AggShuffle
+	//    runs.
+	var stageRates map[skey]float64
 	for w := 0; w < e.nNodes; w++ {
-		its := readsByNode[w]
-		if len(its) == 0 {
-			continue
-		}
-		demands := make([]float64, len(its))
-		for i, it := range its {
-			demands[i] = math.Inf(1)
-			it.capRate = 0
-			if it.capped {
-				st := e.states[it.key]
-				if st.parentsLeft > 0 {
-					a, da := e.availability(st, stageComputeRate)
-					capVol := it.volume * a
-					it.capRate = it.volume * da
-					if it.done >= capVol-availEps {
-						// No backlog: limited to the production rate.
-						demands[i] = it.capRate
-					}
-				} else {
-					it.capped = false // parents finished; cap lifted
+		if !e.dirtyR[w] {
+			for _, it := range e.readBk[w] {
+				if it.capped {
+					e.dirtyR[w] = true
+					break
 				}
 			}
 		}
-		var weights []float64
-		if e.opt.FairByJob {
-			weights = e.jobWeights(its)
-		}
-		// Only items that can actually flow count toward the contention
-		// penalty: an availability-starved prefetch (demand ≈ 0) holds no
-		// connections worth a sharing overhead.
-		nEff := 0
-		for _, d := range demands {
-			if d > 1 {
-				nEff++
+		if e.dirtyR[w] && stageRates == nil {
+			for _, it := range e.readBk[w] {
+				if it.capped && it.st.parentsLeft > 0 {
+					stageRates = e.stageComputeRates()
+					break
+				}
 			}
 		}
-		alloc := waterFill(e.contended(e.netBW[w], nEff), demands, weights)
-		for i, it := range its {
-			it.rate = alloc[i]
+	}
+	for w := 0; w < e.nNodes; w++ {
+		if e.dirtyR[w] {
+			e.readNodeRates(w, stageRates)
+			e.dirtyR[w] = false
 		}
 	}
 	// 3. Write-phase rates: equal split of the node's disk bandwidth.
 	for w := 0; w < e.nNodes; w++ {
-		its := writersByNode[w]
-		if len(its) == 0 {
-			continue
-		}
-		shares := e.fairShares(its, e.diskBW[w])
-		for i, it := range its {
-			it.rate = shares[i]
+		if e.dirtyW[w] {
+			its := e.writeBk[w]
+			if len(its) > 0 {
+				shares := e.fairShares(its, e.diskBW[w])
+				for i, it := range its {
+					it.rate = shares[i]
+				}
+			}
+			e.dirtyW[w] = false
 		}
 	}
+}
+
+// computeNodeRates refreshes the executor shares of one node's compute
+// items.
+func (e *engine) computeNodeRates(w int) {
+	its := e.computeBk[w]
+	if len(its) == 0 {
+		return
+	}
+	// Nominal executor shares (no contention loss), then the cap: a
+	// stage cannot occupy more executors than it has tasks. The
+	// contention factor degrades throughput, not occupancy.
+	shares := e.fairSharesNominal(its, e.execs[w])
+	cf := e.contended(1, len(its))
+	for i, it := range its {
+		st := it.st
+		share := shares[i]
+		if tpn := st.profile.tasksPerNode; tpn > 0 && share > tpn {
+			share = tpn
+		}
+		it.execUsed = share
+		it.rate = share * st.profile.procRate * cf
+		if it.slow > 1 {
+			it.rate /= it.slow
+		}
+	}
+}
+
+// stageComputeRates sums every stage's total compute rate across nodes,
+// in node-then-bucket order — the same accumulation order the pre-dirty
+// engine used, so availability derivatives stay bit-identical.
+func (e *engine) stageComputeRates() map[skey]float64 {
+	m := e.stageRateScratch
+	clear(m)
+	for w := 0; w < e.nNodes; w++ {
+		for _, it := range e.computeBk[w] {
+			m[it.key] += it.rate
+		}
+	}
+	return m
+}
+
+// readNodeRates water-fills one node's NIC among its read items.
+func (e *engine) readNodeRates(w int, stageRates map[skey]float64) {
+	its := e.readBk[w]
+	if len(its) == 0 {
+		return
+	}
+	demands := resizeF64(&e.demandScratch, len(its))
+	for i, it := range its {
+		demands[i] = math.Inf(1)
+		it.capRate = 0
+		if it.capped {
+			st := it.st
+			if st.parentsLeft > 0 {
+				a, da := e.availability(st, stageRates)
+				capVol := it.volume * a
+				it.capRate = it.volume * da
+				if it.done >= capVol-availEps {
+					// No backlog: limited to the production rate.
+					demands[i] = it.capRate
+				}
+			} else {
+				it.capped = false // parents finished; cap lifted
+			}
+		}
+	}
+	var weights []float64
+	if e.opt.FairByJob {
+		weights = e.jobWeights(its)
+	}
+	// Only items that can actually flow count toward the contention
+	// penalty: an availability-starved prefetch (demand ≈ 0) holds no
+	// connections worth a sharing overhead.
+	nEff := 0
+	for _, d := range demands {
+		if d > 1 {
+			nEff++
+		}
+	}
+	alloc := resizeF64(&e.wfAlloc, len(its))
+	e.wfActive = waterFillInto(alloc, e.wfActive[:0], e.contended(e.netBW[w], nEff), demands, weights)
+	for i, it := range its {
+		it.rate = alloc[i]
+	}
+}
+
+// resizeF64 grows (or shrinks) a scratch slice to n elements, zeroed.
+func resizeF64(s *[]float64, n int) []float64 {
+	v := *s
+	if cap(v) < n {
+		v = make([]float64, n)
+	} else {
+		v = v[:n]
+		for i := range v {
+			v[i] = 0
+		}
+	}
+	*s = v
+	return v
 }
 
 // contended scales a resource's capacity by the sharing-efficiency loss:
@@ -661,9 +878,11 @@ func (e *engine) fairShares(its []*item, capacity float64) []float64 {
 	return e.fairSharesNominal(its, e.contended(capacity, len(its)))
 }
 
-// fairSharesNominal splits capacity without the contention loss.
+// fairSharesNominal splits capacity without the contention loss. The
+// returned slice is the engine's share scratch — valid until the next
+// fairShares/fairSharesNominal call.
 func (e *engine) fairSharesNominal(its []*item, capacity float64) []float64 {
-	out := make([]float64, len(its))
+	out := resizeF64(&e.shareScratch, len(its))
 	if !e.opt.FairByJob {
 		s := capacity / float64(len(its))
 		for i := range out {
@@ -671,7 +890,8 @@ func (e *engine) fairSharesNominal(its []*item, capacity float64) []float64 {
 		}
 		return out
 	}
-	perJob := make(map[int]int)
+	perJob := e.perJobScratch
+	clear(perJob)
 	for _, it := range its {
 		perJob[it.key.job]++
 	}
@@ -683,13 +903,15 @@ func (e *engine) fairSharesNominal(its []*item, capacity float64) []float64 {
 }
 
 // jobWeights returns water-filling weights implementing job-first fairness.
+// The returned slice is the engine's weight scratch.
 func (e *engine) jobWeights(its []*item) []float64 {
-	perJob := make(map[int]int)
+	perJob := e.perJobScratch
+	clear(perJob)
 	for _, it := range its {
 		perJob[it.key.job]++
 	}
 	nJobs := float64(len(perJob))
-	w := make([]float64, len(its))
+	w := resizeF64(&e.weightScratch, len(its))
 	for i, it := range its {
 		w[i] = 1 / (nJobs * float64(perJob[it.key.job]))
 	}
@@ -713,7 +935,7 @@ func (e *engine) nextDT() float64 {
 			}
 		}
 		if it.capped && it.ph == phRead {
-			st := e.states[it.key]
+			st := it.st
 			if st.parentsLeft > 0 {
 				a, _ := e.availability(st, nil) // da not needed here
 				capVol := it.volume * a
@@ -745,7 +967,7 @@ func (e *engine) advance(dt float64) {
 			it.done += p
 		}
 		if it.ph == phCompute && !it.recompute {
-			e.states[it.key].computeDone += p
+			it.st.computeDone += p
 		}
 	}
 	e.now += dt
@@ -756,7 +978,10 @@ func (e *engine) advance(dt float64) {
 func (e *engine) recordUsage(dt float64) {
 	var trackNet, trackDisk, trackCPUBusy float64
 	var totNet, totDisk, totBusyExec float64
-	busyExecs := make([]float64, e.nNodes)
+	busyExecs := e.busyScratch
+	for i := range busyExecs {
+		busyExecs[i] = 0
+	}
 	for _, it := range e.items {
 		switch it.ph {
 		case phRead:
@@ -853,6 +1078,23 @@ func (e *engine) recordOccupancy(dt float64) {
 }
 
 // itemOrder is the deterministic transition order: by key then phase/node.
+// sortItems orders an item slice by itemOrder with a typed insertion
+// sort. The per-event done/dead sets are tiny, so sort.Slice's reflection
+// setup dominated the actual comparisons; insertion sort is stable, which
+// can only preserve MORE of the e.items order than the unstable sort did
+// (itemOrder is a total order on live items, so ties do not occur).
+func sortItems(its []*item) {
+	for i := 1; i < len(its); i++ {
+		it := its[i]
+		j := i - 1
+		for j >= 0 && itemOrder(it, its[j]) {
+			its[j+1] = its[j]
+			j--
+		}
+		its[j+1] = it
+	}
+}
+
 func itemOrder(a, b *item) bool {
 	if a.key.job != b.key.job {
 		return a.key.job < b.key.job
@@ -870,19 +1112,22 @@ func itemOrder(a, b *item) bool {
 // transitions.
 func (e *engine) removeDone() {
 	kept := e.items[:0]
-	var done, dead []*item
+	done, dead := e.doneScratch[:0], e.deadScratch[:0]
 	for _, it := range e.items {
 		switch {
 		case it.remaining <= eps:
 			done = append(done, it)
+			e.bucketRemove(it)
 		case it.failAt > 0 && it.volume-it.remaining >= it.failAt-eps:
 			dead = append(dead, it)
+			e.bucketRemove(it)
 		default:
 			kept = append(kept, it)
 		}
 	}
 	e.items = kept
-	sort.Slice(done, func(i, j int) bool { return itemOrder(done[i], done[j]) })
+	e.doneScratch, e.deadScratch = done, dead
+	sortItems(done)
 	for _, it := range done {
 		if e.failed[it.key.job] {
 			continue
@@ -891,7 +1136,7 @@ func (e *engine) removeDone() {
 			e.finishRecompute(it)
 			continue
 		}
-		st := e.states[it.key]
+		st := it.st
 		switch it.ph {
 		case phRead:
 			e.finishRead(st, it.node)
@@ -901,10 +1146,19 @@ func (e *engine) removeDone() {
 			e.finishWrite(st, it.node)
 		}
 	}
-	sort.Slice(dead, func(i, j int) bool { return itemOrder(dead[i], dead[j]) })
+	sortItems(dead)
 	for _, it := range dead {
 		e.taskFailed(it)
 	}
+	// All transitions fired; the removed items hold no live references.
+	for _, it := range done {
+		e.freeItem(it)
+	}
+	for _, it := range dead {
+		e.freeItem(it)
+	}
+	e.doneScratch = e.doneScratch[:0]
+	e.deadScratch = e.deadScratch[:0]
 }
 
 func (e *engine) run() (*Result, error) {
@@ -912,7 +1166,7 @@ func (e *engine) run() (*Result, error) {
 	for {
 		// Fire all timers due now.
 		for len(e.timers) > 0 && e.timers[0].at <= e.now+eps {
-			t := heap.Pop(&e.timers).(timer)
+			t := e.timers.pop()
 			if t.at > e.now {
 				e.now = t.at
 			}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"testing"
 
@@ -42,16 +41,34 @@ func TestAppendStepDeduplicates(t *testing.T) {
 
 func TestTimerHeapOrdering(t *testing.T) {
 	var h timerHeap
-	heap.Push(&h, timer{at: 5, seq: 1})
-	heap.Push(&h, timer{at: 1, seq: 2})
-	heap.Push(&h, timer{at: 5, seq: 0})
-	first := heap.Pop(&h).(timer)
+	h.push(timer{at: 5, seq: 1})
+	h.push(timer{at: 1, seq: 2})
+	h.push(timer{at: 5, seq: 0})
+	first := h.pop()
 	if first.at != 1 {
 		t.Fatalf("heap order broken: %v", first)
 	}
-	second := heap.Pop(&h).(timer)
+	second := h.pop()
 	if second.at != 5 || second.seq != 0 {
 		t.Fatalf("equal-time timers must pop in sequence order: %+v", second)
+	}
+}
+
+func TestTimerHeapManyTimers(t *testing.T) {
+	// Exercise siftDown paths with a scrambled insertion order.
+	var h timerHeap
+	order := []float64{9, 3, 7, 1, 8, 2, 6, 0, 5, 4}
+	for i, at := range order {
+		h.push(timer{at: at, seq: i})
+	}
+	for want := 0.0; want < 10; want++ {
+		got := h.pop()
+		if got.at != want {
+			t.Fatalf("pop %v, want %v", got.at, want)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
 	}
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -36,7 +35,7 @@ func (e *engine) taskFailed(it *item) {
 	if e.failed[it.key.job] {
 		return
 	}
-	st := e.states[it.key]
+	st := it.st
 	st.retries++
 	e.res.Retries++
 	if it.attempt >= e.opt.MaxAttempts {
@@ -47,7 +46,7 @@ func (e *engine) taskFailed(it *item) {
 	}
 	backoff := e.opt.RetryBackoff * math.Pow(2, float64(it.attempt-1))
 	e.seq++
-	heap.Push(&e.timers, timer{at: e.now + backoff, seq: e.seq, kind: tRetry, key: it.key,
+	e.timers.push(timer{at: e.now + backoff, seq: e.seq, kind: tRetry, key: it.key,
 		job: it.key.job, node: it.node, ph: it.ph, attempt: it.attempt + 1, recomp: it.recompute})
 	if e.opt.Watchdog != nil {
 		e.applyDelayUpdates(e.opt.Watchdog.TaskRetried(it.key.job, it.key.stage, it.node, it.attempt, e.now))
@@ -74,7 +73,8 @@ func (e *engine) retryTask(t timer) {
 	if vol <= eps {
 		vol = eps * 2 // degenerate volume: completes on the next event
 	}
-	it := &item{key: t.key, node: t.node, ph: t.ph, remaining: vol, volume: vol,
+	it := e.newItem()
+	*it = item{key: t.key, st: st, node: t.node, ph: t.ph, remaining: vol, volume: vol,
 		attempt: t.attempt, recompute: t.recomp}
 	if t.ph == phRead && st.prefetched && st.parentsLeft > 0 && !t.recomp {
 		it.capped = true
@@ -82,7 +82,7 @@ func (e *engine) retryTask(t timer) {
 	if t.ph == phCompute {
 		e.armCompute(it)
 	}
-	e.items = append(e.items, it)
+	e.addItem(it)
 }
 
 // crashNode loses one node: every in-flight task on it dies (re-queued via
@@ -102,9 +102,15 @@ func (e *engine) crashNode(w int) {
 		}
 	}
 	e.items = kept
+	for _, it := range killed {
+		e.bucketRemove(it)
+	}
 	sort.Slice(killed, func(i, j int) bool { return itemOrder(killed[i], killed[j]) })
 	for _, it := range killed {
 		e.taskFailed(it)
+	}
+	for _, it := range killed {
+		e.freeItem(it)
 	}
 	// Lineage recomputation: completed stages whose output is still needed.
 	var lost []*stageState
@@ -168,12 +174,13 @@ func (e *engine) recompPhase(st *stageState, w int, ph phase, attempt int) {
 			vol = st.profile.perNodeOut
 		}
 		if vol > eps {
-			it := &item{key: st.key, node: w, ph: ph, remaining: vol, volume: vol,
+			it := e.newItem()
+			*it = item{key: st.key, st: st, node: w, ph: ph, remaining: vol, volume: vol,
 				attempt: attempt, recompute: true}
 			if ph == phCompute {
 				e.armCompute(it)
 			}
-			e.items = append(e.items, it)
+			e.addItem(it)
 			return
 		}
 		if ph == phWrite {
@@ -187,7 +194,7 @@ func (e *engine) recompPhase(st *stageState, w int, ph phase, attempt int) {
 // finishRecompute advances a recomputation chain when one of its items
 // completes.
 func (e *engine) finishRecompute(it *item) {
-	st := e.states[it.key]
+	st := it.st
 	if it.ph == phWrite {
 		e.releaseRecompute(it.key, it.node)
 		return
@@ -232,6 +239,8 @@ func (e *engine) failJob(job int, err error) {
 	for _, it := range e.items {
 		if it.key.job != job {
 			kept = append(kept, it)
+		} else {
+			e.bucketRemove(it)
 		}
 	}
 	e.items = kept

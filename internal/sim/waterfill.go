@@ -9,12 +9,24 @@ import "math"
 // Σ alloc ≤ capacity and alloc[i] ≤ demands[i], and no consumer can gain
 // without a lower-share consumer losing.
 func waterFill(capacity float64, demands, weights []float64) []float64 {
+	alloc := make([]float64, len(demands))
+	waterFillInto(alloc, nil, capacity, demands, weights)
+	return alloc
+}
+
+// waterFillInto is waterFill writing into caller-provided scratch: alloc
+// must be zeroed and len(demands) long; active is an index scratch whose
+// (possibly re-grown) backing array is returned for reuse. The fill order
+// and arithmetic are identical to waterFill, so results are bit-equal.
+func waterFillInto(alloc []float64, active []int, capacity float64, demands, weights []float64) []int {
 	n := len(demands)
-	alloc := make([]float64, n)
 	if n == 0 || capacity <= 0 {
-		return alloc
+		return active
 	}
-	active := make([]int, 0, n)
+	if cap(active) < n {
+		active = make([]int, 0, n)
+	}
+	active = active[:0]
 	for i := range demands {
 		if demands[i] > 0 {
 			active = append(active, i)
@@ -64,7 +76,7 @@ func waterFill(capacity float64, demands, weights []float64) []float64 {
 			alloc[i] = 0
 		}
 	}
-	return alloc
+	return active
 }
 
 func weightOf(weights []float64, i int) float64 {
