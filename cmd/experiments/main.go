@@ -7,6 +7,7 @@
 //
 //	experiments [-scale f] [-nodes n] [-trace-jobs n] [-reps n] [-seed n]
 //	            [-parallelism n] [-only fig10,table3,...] [-timeout d]
+//	            [-json results.json]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"delaystage/internal/experiments"
+	"delaystage/internal/obs"
 )
 
 // syncWriter buffers experiment output behind a mutex so a timed-out
@@ -43,27 +45,35 @@ func (w *syncWriter) drain() string {
 	return s
 }
 
-// runGuarded runs one experiment under an optional wall-clock guard. On
-// expiry the experiment's partial output is flushed with a warning and the
-// run moves on; the abandoned goroutine keeps writing into its private
-// buffer, which is simply never read again.
-func runGuarded(name string, run func(experiments.Config) error, cfg experiments.Config, timeout time.Duration) error {
+// runGuarded runs one experiment under an optional wall-clock guard and
+// returns its typed result. On expiry the experiment's partial output is
+// flushed with a warning and the run moves on (nil result); the abandoned
+// goroutine keeps writing into its private buffer, which is simply never
+// read again.
+func runGuarded(name string, run func(experiments.Config) (any, error), cfg experiments.Config, timeout time.Duration) (any, error) {
 	if timeout <= 0 {
 		return run(cfg)
 	}
 	w := &syncWriter{}
 	buffered := cfg
 	buffered.W = w
-	done := make(chan error, 1)
-	go func() { done <- run(buffered) }()
+	type outcome struct {
+		res any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := run(buffered)
+		done <- outcome{res, err}
+	}()
 	select {
-	case err := <-done:
+	case o := <-done:
 		fmt.Fprint(os.Stdout, w.drain())
-		return err
+		return o.res, o.err
 	case <-time.After(timeout):
 		fmt.Fprint(os.Stdout, w.drain())
 		fmt.Fprintf(os.Stderr, "experiments: WARNING: %s exceeded -timeout %v; results above are partial\n", name, timeout)
-		return nil
+		return nil, nil
 	}
 }
 
@@ -76,13 +86,14 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "worker count for independent experiment cells (output is bit-identical at any setting)")
 	only := flag.String("only", "", "comma-separated subset (fig2..fig17, table3, table4, a2, overhead, geo, online, sensitivity, fault)")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock guard (0 = none); an experiment past it is abandoned with a partial-results warning")
+	jsonPath := flag.String("json", "", "write a machine-readable summary of every experiment's results to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Scale: *scale, Nodes: *nodes, TraceJobs: *traceJobs,
 		Reps: *reps, Seed: *seed, Parallelism: *parallelism, W: os.Stdout,
 	}
-	runners := map[string]func(experiments.Config) error{}
+	runners := map[string]func(experiments.Config) (any, error){}
 	var order []string
 	for _, r := range experiments.Runners() {
 		runners[r.Name] = r.Run
@@ -101,9 +112,23 @@ func main() {
 			order = append(order, name)
 		}
 	}
+	summary := obs.NewExperimentsSummary(map[string]any{
+		"scale": *scale, "nodes": *nodes, "trace_jobs": *traceJobs,
+		"reps": *reps, "seed": *seed,
+	})
 	for _, name := range order {
-		if err := runGuarded(name, runners[name], cfg, *timeout); err != nil {
+		res, err := runGuarded(name, runners[name], cfg, *timeout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if res != nil {
+			summary.Results[name] = res
+		}
+	}
+	if *jsonPath != "" {
+		if err := obs.WriteJSON(*jsonPath, summary); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -7,6 +7,11 @@
 //
 //	tracegen -jobs 300 | replay
 //	replay -f trace.csv [-slice-machines 2]
+//	replay -f trace.csv -events ev.jsonl -chrometrace tr.json -json sum.json
+//
+// -events and -chrometrace capture the default-DelayStage replays (one sim
+// run per trace job, labelled run=<job index>); -json summarizes every
+// variant.
 package main
 
 import (
@@ -21,14 +26,26 @@ import (
 	"delaystage/internal/core"
 	"delaystage/internal/dag"
 	"delaystage/internal/metrics"
+	"delaystage/internal/obs"
 	"delaystage/internal/sim"
 	"delaystage/internal/trace"
 )
+
+// variantSummary is one row of the -json output: the per-variant JCT
+// distribution and time-weighted utilizations.
+type variantSummary struct {
+	JCT     *metrics.CDF `json:"jct_seconds"`
+	CPUUtil float64      `json:"avg_cpu_util"`
+	NetUtil float64      `json:"avg_net_util"`
+}
 
 func main() {
 	file := flag.String("f", "", "trace file (default: stdin)")
 	sliceMachines := flag.Int("slice-machines", 2, "machines in each job's even cluster slice")
 	seed := flag.Int64("seed", 1, "seed for slice bandwidth draws and the random order")
+	eventsPath := flag.String("events", "", "write a JSONL event log of the default-DelayStage replays to this file (\"-\" = stdout)")
+	tracePath := flag.String("chrometrace", "", "write a Chrome trace of the default-DelayStage replays to this file")
+	jsonPath := flag.String("json", "", "write a machine-readable per-variant summary to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -54,6 +71,26 @@ func main() {
 		slices[i] = sim.Coarsen(cluster.NewTraceCluster(*sliceMachines, 4, rng))
 	}
 
+	var jsonl *obs.JSONL
+	var evFile *os.File
+	if *eventsPath != "" {
+		w := os.Stdout
+		if *eventsPath != "-" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			evFile = f
+			w = f
+		}
+		jsonl = obs.NewJSONL(w)
+	}
+	var tracer *obs.ChromeTracer
+	if *tracePath != "" {
+		tracer = obs.NewChromeTracer()
+	}
+	summary := map[string]*variantSummary{}
+
 	type variant struct {
 		name  string
 		order core.Order
@@ -65,6 +102,9 @@ func main() {
 		{name: "default DelayStage", order: core.Descending},
 		{name: "ascending DelayStage", order: core.Ascending},
 	} {
+		// Observers tap the default-DelayStage variant — the paper's
+		// headline configuration — with one "run" per trace job.
+		observed := v.order == core.Descending && !v.plain
 		var jcts []float64
 		var cpuInt, netInt, timeInt float64
 		for i := range tr.Jobs {
@@ -86,8 +126,17 @@ func main() {
 				}
 				delays = sched.Delays
 			}
-			res, err := sim.Run(sim.Options{Cluster: slices[i], TrackNode: -1},
-				[]sim.JobRun{{Job: wl, Delays: delays}})
+			opt := sim.Options{Cluster: slices[i], TrackNode: -1}
+			if observed {
+				if jsonl != nil {
+					jsonl.Run = i
+				}
+				if tracer != nil {
+					tracer.Run = i
+				}
+				opt.Observer = obs.Multi(jsonl, tracer)
+			}
+			res, err := sim.Run(opt, []sim.JobRun{{Job: wl, Delays: delays}})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -101,5 +150,40 @@ func main() {
 		fmt.Printf("%-22s mean %8.0fs  P50 %8.0fs  P90 %8.0fs  P99 %8.0fs  CPU %5.1f%%  net %5.1f%%\n",
 			v.name, cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.99),
 			cpuInt/timeInt*100, netInt/timeInt*100)
+		summary[v.name] = &variantSummary{JCT: cdf, CPUUtil: cpuInt / timeInt, NetUtil: netInt / timeInt}
+	}
+
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if evFile != nil {
+			if err := evFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		out := obs.NewExperimentsSummary(map[string]any{
+			"trace_jobs": len(tr.Jobs), "slice_machines": *sliceMachines, "seed": *seed,
+		})
+		for name, vs := range summary {
+			out.Results[name] = vs
+		}
+		if err := obs.WriteJSON(*jsonPath, out); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -8,18 +8,21 @@
 //	simulate -spec job.json -strategy delaystage
 //	simulate -fault-rate 0.1 -straggler-frac 0.25 -straggler-factor 3 -guarded
 //	simulate -crash-node 1 -crash-at 120 -fault-seed 7 -max-retries 4
+//	simulate -events run.jsonl -chrometrace trace.json -json summary.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
 	"delaystage/internal/faults"
 	"delaystage/internal/jobspec"
 	"delaystage/internal/metrics"
+	"delaystage/internal/obs"
 	"delaystage/internal/scheduler"
 	"delaystage/internal/sim"
 	"delaystage/internal/workload"
@@ -40,6 +43,9 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "attempts per partition before the job fails (0 = default 4)")
 	guarded := flag.Bool("guarded", false, "attach the runtime watchdog to a delaystage strategy (cancels stale delays)")
 	parallelism := flag.Int("parallelism", 1, "goroutines for the delaystage candidate scan (plan is bit-identical at any setting)")
+	eventsPath := flag.String("events", "", "write a JSONL event log of the run to this file (\"-\" = stdout)")
+	tracePath := flag.String("chrometrace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to this file")
+	jsonPath := flag.String("json", "", "write a machine-readable run summary to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	c := cluster.NewM4LargeCluster(*nodes)
@@ -107,11 +113,65 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := sim.Options{Cluster: c, TrackNode: 0, AggShuffle: p.AggShuffle,
-		Faults: inj, MaxAttempts: *maxRetries, Watchdog: p.Watchdog}
+	var jsonl *obs.JSONL
+	var evFile *os.File
+	if *eventsPath != "" {
+		w := os.Stdout
+		if *eventsPath != "-" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			evFile = f
+			w = f
+		}
+		jsonl = obs.NewJSONL(w)
+	}
+	var tracer *obs.ChromeTracer
+	if *tracePath != "" {
+		tracer = obs.NewChromeTracer()
+	}
+
+	opt := sim.Options{Cluster: c, TrackNode: 0, TrackCluster: tracer != nil,
+		AggShuffle: p.AggShuffle, Faults: inj, MaxAttempts: *maxRetries,
+		Watchdog: p.Watchdog, Observer: obs.Multi(jsonl, tracer)}
 	res, err := sim.Run(opt, []sim.JobRun{{Job: job, Delays: p.Delays}})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Emit the artifacts before deciding success: a failed run's event log
+	// and trace are exactly what one wants for the post-mortem.
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if evFile != nil {
+			if err := evFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if tracer != nil {
+		tracer.AddCounters(res)
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		sum := obs.NewRunSummary(res)
+		sum.Workload = job.Name
+		sum.Strategy = strat.Name()
+		sum.Nodes = *nodes
+		if err := obs.WriteJSON(*jsonPath, sum); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if ferr := res.Failed(0); ferr != nil {
 		log.Fatalf("job failed after %d retries: %v", res.Retries, ferr)

@@ -18,6 +18,7 @@ import (
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/faults"
+	"delaystage/internal/obs"
 	"delaystage/internal/scheduler"
 	"delaystage/internal/sim"
 	"delaystage/internal/workload"
@@ -71,7 +72,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt := sim.Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8}
+		// An inline observer counts the fault-path events as they happen —
+		// the same typed stream the JSONL/Chrome exporters consume.
+		var retries, crashes, revisions int
+		opt := sim.Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8,
+			Observer: obs.Func(func(ev sim.Event) {
+				switch ev.Kind {
+				case sim.EvTaskRetry:
+					retries++
+				case sim.EvNodeCrash:
+					crashes++
+				case sim.EvDelayRevised:
+					revisions++
+				}
+			})}
 		jr := sim.JobRun{Job: job}
 		if s.delays {
 			jr.Delays = plan.Delays
@@ -90,8 +104,8 @@ func main() {
 		if ferr := res.Failed(0); ferr != nil {
 			log.Fatalf("%s: %v", s.label, ferr)
 		}
-		fmt.Printf("%-24s JCT %7.1fs  (+%5.1f%% vs fault-free)  retries %d\n",
-			s.label, res.JCT(0), 100*(res.JCT(0)-clean.JCT(0))/clean.JCT(0), res.Retries)
+		fmt.Printf("%-24s JCT %7.1fs  (+%5.1f%% vs fault-free)  retries %d  crashes %d  delay revisions %d\n",
+			s.label, res.JCT(0), 100*(res.JCT(0)-clean.JCT(0))/clean.JCT(0), retries, crashes, revisions)
 	}
 	fmt.Println("\nThe guard trips on the first retry or drift beyond 15% and cancels the")
 	fmt.Println("remaining delays, so faults cost guarded DelayStage no more than Spark.")

@@ -3,10 +3,11 @@ package experiments
 // Runner couples an experiment's registry name (the cmd/experiments -only
 // key) with its entry point. Keeping the list here means All, the CLI
 // subset flag, and the per-experiment timeout guard all agree on what
-// exists.
+// exists. Run returns the experiment's typed result struct (for the
+// machine-readable -json summary) alongside rendering text to cfg.W.
 type Runner struct {
 	Name string
-	Run  func(Config) error
+	Run  func(Config) (any, error)
 }
 
 // Runners lists every experiment in paper order, followed by the
@@ -14,27 +15,27 @@ type Runner struct {
 // "table4" entry (it exists for -only).
 func Runners() []Runner {
 	return []Runner{
-		{"fig2", func(cfg Config) error { _, err := Fig2(cfg); return err }},
-		{"fig3", func(cfg Config) error { _, err := Fig3(cfg); return err }},
-		{"fig4", func(cfg Config) error { _, err := Fig4(cfg); return err }},
-		{"fig5", func(cfg Config) error { _, err := Fig5(cfg); return err }},
-		{"fig6", func(cfg Config) error { _, err := Fig6(cfg); return err }},
-		{"fig10", func(cfg Config) error { _, err := Fig10(cfg); return err }},
-		{"fig11", func(cfg Config) error { _, err := Fig11(cfg); return err }},
-		{"fig12", func(cfg Config) error { _, err := Fig12(cfg); return err }},
-		{"fig13", func(cfg Config) error { _, err := Fig13(cfg); return err }},
-		{"fig14", func(cfg Config) error { _, err := Fig14(cfg); return err }},
-		{"fig15", func(cfg Config) error { _, err := Fig15(cfg); return err }},
-		{"fig16", func(cfg Config) error { _, err := Fig16(cfg); return err }},
-		{"fig17", func(cfg Config) error { _, err := Fig17(cfg); return err }},
-		{"table3", func(cfg Config) error { _, err := Table3(cfg); return err }},
-		{"table4", func(cfg Config) error { _, err := Table4(cfg); return err }},
-		{"a2", func(cfg Config) error { _, err := AppendixA2(cfg); return err }},
-		{"overhead", func(cfg Config) error { _, err := Overhead(cfg); return err }},
-		{"geo", func(cfg Config) error { _, err := GeoExtension(cfg); return err }},
-		{"online", func(cfg Config) error { _, err := OnlineExtension(cfg); return err }},
-		{"sensitivity", func(cfg Config) error { _, err := Sensitivity(cfg); return err }},
-		{"fault", func(cfg Config) error { _, err := FaultSweep(cfg); return err }},
+		{"fig2", func(cfg Config) (any, error) { return Fig2(cfg) }},
+		{"fig3", func(cfg Config) (any, error) { return Fig3(cfg) }},
+		{"fig4", func(cfg Config) (any, error) { return Fig4(cfg) }},
+		{"fig5", func(cfg Config) (any, error) { return Fig5(cfg) }},
+		{"fig6", func(cfg Config) (any, error) { return Fig6(cfg) }},
+		{"fig10", func(cfg Config) (any, error) { return Fig10(cfg) }},
+		{"fig11", func(cfg Config) (any, error) { return Fig11(cfg) }},
+		{"fig12", func(cfg Config) (any, error) { return Fig12(cfg) }},
+		{"fig13", func(cfg Config) (any, error) { return Fig13(cfg) }},
+		{"fig14", func(cfg Config) (any, error) { return Fig14(cfg) }},
+		{"fig15", func(cfg Config) (any, error) { return Fig15(cfg) }},
+		{"fig16", func(cfg Config) (any, error) { return Fig16(cfg) }},
+		{"fig17", func(cfg Config) (any, error) { return Fig17(cfg) }},
+		{"table3", func(cfg Config) (any, error) { return Table3(cfg) }},
+		{"table4", func(cfg Config) (any, error) { return Table4(cfg) }},
+		{"a2", func(cfg Config) (any, error) { return AppendixA2(cfg) }},
+		{"overhead", func(cfg Config) (any, error) { return Overhead(cfg) }},
+		{"geo", func(cfg Config) (any, error) { return GeoExtension(cfg) }},
+		{"online", func(cfg Config) (any, error) { return OnlineExtension(cfg) }},
+		{"sensitivity", func(cfg Config) (any, error) { return Sensitivity(cfg) }},
+		{"fault", func(cfg Config) (any, error) { return FaultSweep(cfg) }},
 	}
 }
 
@@ -46,7 +47,7 @@ func All(cfg Config) error {
 		if r.Name == "table4" { // rendered by fig14
 			continue
 		}
-		if err := r.Run(cfg); err != nil {
+		if _, err := r.Run(cfg); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -86,26 +87,44 @@ func (c *CDF) At(x float64) float64 {
 	return float64(i) / float64(len(c.xs))
 }
 
-// Quantile returns the q-th quantile (q ∈ [0,1]).
+// Quantile returns the q-th quantile (q ∈ [0,1]) using the same linear
+// interpolation as Percentile, so Quantile(p/100) ≡ Percentile(p).
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.xs) == 0 {
+	n := len(c.xs)
+	if n == 0 {
 		return 0
 	}
 	if q <= 0 {
 		return c.xs[0]
 	}
 	if q >= 1 {
-		return c.xs[len(c.xs)-1]
+		return c.xs[n-1]
 	}
-	i := int(q * float64(len(c.xs)))
-	if i >= len(c.xs) {
-		i = len(c.xs) - 1
+	rank := q * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c.xs[lo]
 	}
-	return c.xs[i]
+	frac := rank - float64(lo)
+	return c.xs[lo]*(1-frac) + c.xs[hi]*frac
 }
 
 // Mean returns the sample mean.
 func (c *CDF) Mean() float64 { return Mean(c.xs) }
+
+// MarshalJSON serializes the distribution as a compact summary
+// (n/mean/p50/p90/p99) rather than the raw samples, keeping JSON
+// experiment summaries small and schema-stable.
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N    int     `json:"n"`
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+	}{c.N(), c.Mean(), c.Quantile(0.5), c.Quantile(0.9), c.Quantile(0.99)})
+}
 
 // Table renders the CDF at the given x grid as "x  P%" rows.
 func (c *CDF) Table(grid []float64) string {
@@ -237,8 +256,17 @@ func RenderGantt(bars []GanttBar, width int) string {
 		s := int(math.Round(b.Start * scale))
 		m := int(math.Round(b.Split * scale))
 		e := int(math.Round(b.End * scale))
+		if s < 0 {
+			s = 0
+		}
+		if s > width {
+			s = width
+		}
 		if e > width {
 			e = width
+		}
+		if e < s {
+			e = s
 		}
 		if m < s {
 			m = s
@@ -249,7 +277,15 @@ func RenderGantt(bars []GanttBar, width int) string {
 		fmt.Fprintf(&sb, "%-*s |%s%s%s|\n", labelW, b.Label,
 			strings.Repeat(" ", s), strings.Repeat("░", m-s), strings.Repeat("█", e-m))
 	}
-	fmt.Fprintf(&sb, "%-*s  0%s%.0fs\n", labelW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.0fs", maxT))), maxT)
+	// The axis pad may hit zero (or go negative) when the makespan label is
+	// wider than the chart; clamp instead of handing strings.Repeat a
+	// negative count (which panics).
+	axis := fmt.Sprintf("%.0fs", maxT)
+	pad := width - len(axis)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "%-*s  0%s%s\n", labelW, "", strings.Repeat(" ", pad), axis)
 	return sb.String()
 }
 

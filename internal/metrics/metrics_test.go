@@ -49,8 +49,8 @@ func TestCDFBasics(t *testing.T) {
 			t.Errorf("At(%v) = %v, want %v", cs.x, got, cs.want)
 		}
 	}
-	if q := c.Quantile(0.5); q != 3 {
-		t.Errorf("Quantile(0.5) = %v, want 3", q)
+	if q := c.Quantile(0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want 2.5 (interpolated)", q)
 	}
 	if c.Mean() != 2.5 {
 		t.Errorf("Mean = %v", c.Mean())
@@ -227,6 +227,90 @@ func TestGanttClampsSplit(t *testing.T) {
 	out := RenderGantt([]GanttBar{{Label: "x", Start: 5, Split: 20, End: 10}}, 20)
 	if !strings.Contains(out, "x") {
 		t.Fatalf("bar missing: %s", out)
+	}
+}
+
+// Quantile must interpolate exactly like Percentile: the old truncating
+// implementation returned 2 for Quantile(0.5) of {1,2} instead of 1.5,
+// biasing every reported P50/P90/P99 high.
+func TestQuantileInterpolates(t *testing.T) {
+	c := NewCDF([]float64{1, 2})
+	if q := c.Quantile(0.5); math.Abs(q-1.5) > 1e-12 {
+		t.Fatalf("Quantile(0.5) of {1,2} = %v, want 1.5", q)
+	}
+}
+
+// Quantile(p/100) ≡ Percentile(p) on random samples.
+func TestQuantileMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(40) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 - 200
+		}
+		c := NewCDF(xs)
+		for p := 0.0; p <= 100; p += 2.5 {
+			q, pc := c.Quantile(p/100), Percentile(xs, p)
+			if math.Abs(q-pc) > 1e-9*(1+math.Abs(pc)) {
+				t.Fatalf("trial %d: Quantile(%v)=%v but Percentile(%v)=%v", trial, p/100, q, p, pc)
+			}
+		}
+	}
+}
+
+// Trace-scale makespans at narrow widths: the %.0fs axis label exceeds the
+// chart width, which used to drive strings.Repeat negative and panic.
+func TestRenderGanttHugeMakespanNarrowWidth(t *testing.T) {
+	bars := []GanttBar{{Label: "s", Start: 0, Split: 1e8, End: 2e9}}
+	out := RenderGantt(bars, 10)
+	if !strings.Contains(out, "2000000000s") {
+		t.Fatalf("axis label missing:\n%s", out)
+	}
+}
+
+// Bars outside the axis range (negative or past-maxT starts) must clamp,
+// not panic.
+func TestRenderGanttOutOfRangeBars(t *testing.T) {
+	bars := []GanttBar{
+		{Label: "neg", Start: -5, Split: -2, End: 10},
+		{Label: "ok", Start: 0, Split: 5, End: 10},
+	}
+	out := RenderGantt(bars, 20)
+	if !strings.Contains(out, "neg") || !strings.Contains(out, "ok") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+}
+
+func TestSparklineNegativeAndSinglePoint(t *testing.T) {
+	// Negative values must clamp to the lowest tick, not index out of range.
+	out := Sparkline([]float64{-5, 0, 5})
+	if len([]rune(out)) != 3 {
+		t.Fatalf("sparkline length %d, want 3", len([]rune(out)))
+	}
+	if one := Sparkline([]float64{7}); len([]rune(one)) != 1 {
+		t.Fatalf("single-point sparkline %q", one)
+	}
+	if allNeg := Sparkline([]float64{-3, -1}); len([]rune(allNeg)) != 2 {
+		t.Fatalf("all-negative sparkline %q", allNeg)
+	}
+}
+
+func TestResampleStepNegativeValues(t *testing.T) {
+	// Negative step values resample like any other value.
+	pts := []StepPoint{{T: 0, V: -4}}
+	bins := ResampleStep(pts, 0, 4, 2)
+	if len(bins) != 2 || math.Abs(bins[0]+4) > 1e-9 || math.Abs(bins[1]+4) > 1e-9 {
+		t.Fatalf("bins = %v, want [-4 -4]", bins)
+	}
+}
+
+func TestResampleStepSinglePointPartialWindow(t *testing.T) {
+	// A single point starting mid-window fills only the covered part.
+	pts := []StepPoint{{T: 5, V: 10}}
+	bins := ResampleStep(pts, 0, 10, 5)
+	if len(bins) != 2 || math.Abs(bins[0]) > 1e-9 || math.Abs(bins[1]-10) > 1e-9 {
+		t.Fatalf("bins = %v, want [0 10]", bins)
 	}
 }
 

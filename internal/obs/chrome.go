@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"delaystage/internal/dag"
+	"delaystage/internal/sim"
+)
+
+// ChromeTracer accumulates simulator events into the Chrome trace-event
+// format (the JSON object understood by chrome://tracing and Perfetto's
+// https://ui.perfetto.dev).
+//
+// Track layout:
+//
+//   - pid 0 ("cluster") carries counter tracks (CPU busy fraction,
+//     network and disk rates, from AddCounters) and instant markers for
+//     watchdog delay revisions.
+//   - pid w+1 ("node w") is one process per cluster node; each stage
+//     partition that ran on the node gets a thread track with up to three
+//     slices — "S<id> read", "S<id> compute" (from data-ready to compute
+//     end, so prefetch wait time is included), "S<id> write" (ending at
+//     the stage's cluster-wide completion) — plus instant markers for
+//     task retries and the node's crash.
+//
+// Timestamps are simulation seconds converted to trace microseconds.
+// Event accumulation and serialization are deterministic: a given run
+// produces byte-identical trace files.
+type ChromeTracer struct {
+	// Run labels slices when several sim runs share one trace (cmd/replay
+	// sets it between runs); -1 (default) for single-run traces.
+	Run int
+
+	events []chromeEvent
+	tracks map[trackKey]*stageTrack
+	tids   map[tidKey]int
+	nextT  int
+	pids   map[int]bool
+}
+
+type trackKey struct {
+	run, job int
+	stage    dag.StageID
+}
+
+type tidKey struct {
+	run, job int
+	stage    dag.StageID
+	node     int
+}
+
+// stageTrack buffers one stage's per-node transition times until the
+// stage completes and its slices can be emitted.
+type stageTrack struct {
+	submit      float64
+	prefetch    bool
+	readDone    []float64 // per node, -1 = not seen
+	computeDone []float64
+}
+
+// chromeEvent is one trace-event JSON object. Field order is the fixed
+// serialization order.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeTracer returns an empty tracer; attach it via
+// sim.Options.Observer, then Write the collected trace.
+func NewChromeTracer() *ChromeTracer {
+	return &ChromeTracer{
+		Run:    -1,
+		tracks: map[trackKey]*stageTrack{},
+		tids:   map[tidKey]int{},
+		nextT:  1,
+		pids:   map[int]bool{},
+	}
+}
+
+const usec = 1e6 // seconds → trace microseconds
+
+// pidOf maps a node index to its process track, registering the
+// process_name metadata on first use. Node -1 is the cluster process.
+func (c *ChromeTracer) pidOf(node int) int {
+	pid := node + 1
+	if !c.pids[pid] {
+		c.pids[pid] = true
+		name := "cluster"
+		if node >= 0 {
+			name = fmt.Sprintf("node %d", node)
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return pid
+}
+
+// tidOf maps one stage partition to its thread track within the node's
+// process, registering thread_name metadata on first use.
+func (c *ChromeTracer) tidOf(job int, stage dag.StageID, node int) int {
+	k := tidKey{c.Run, job, stage, node}
+	tid, ok := c.tids[k]
+	if !ok {
+		tid = c.nextT
+		c.nextT++
+		c.tids[k] = tid
+		name := fmt.Sprintf("job %d stage %d", job, stage)
+		if c.Run >= 0 {
+			name = fmt.Sprintf("run %d %s", c.Run, name)
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: c.pidOf(node), Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return tid
+}
+
+func (c *ChromeTracer) track(job int, stage dag.StageID) *stageTrack {
+	k := trackKey{c.Run, job, stage}
+	tr := c.tracks[k]
+	if tr == nil {
+		tr = &stageTrack{}
+		c.tracks[k] = tr
+	}
+	return tr
+}
+
+// setNode grows a per-node time slice as nodes appear and records t.
+func setNode(s *[]float64, node int, t float64) {
+	for len(*s) <= node {
+		*s = append(*s, -1)
+	}
+	(*s)[node] = t
+}
+
+// OnEvent implements sim.Observer.
+func (c *ChromeTracer) OnEvent(ev sim.Event) {
+	switch ev.Kind {
+	case sim.EvStageSubmitted:
+		tr := c.track(ev.Job, ev.Stage)
+		tr.submit = ev.T
+		tr.prefetch = ev.Prefetch
+	case sim.EvReadDone:
+		setNode(&c.track(ev.Job, ev.Stage).readDone, ev.Node, ev.T)
+	case sim.EvComputeDone:
+		setNode(&c.track(ev.Job, ev.Stage).computeDone, ev.Node, ev.T)
+	case sim.EvStageCompleted:
+		c.flushStage(ev.Job, ev.Stage, ev.T)
+	case sim.EvTaskRetry:
+		c.events = append(c.events, chromeEvent{
+			Name: fmt.Sprintf("retry S%d attempt %d", ev.Stage, ev.Attempt),
+			Ph:   "i", Ts: ev.T * usec, Pid: c.pidOf(ev.Node),
+			Tid: c.tidOf(ev.Job, ev.Stage, ev.Node), Cat: "fault", S: "t",
+			Args: map[string]any{"backoff_s": ev.Delay, "job": ev.Job},
+		})
+	case sim.EvNodeCrash:
+		c.events = append(c.events, chromeEvent{
+			Name: "node crash", Ph: "i", Ts: ev.T * usec,
+			Pid: c.pidOf(ev.Node), Cat: "fault", S: "p",
+		})
+	case sim.EvDelayRevised:
+		c.events = append(c.events, chromeEvent{
+			Name: fmt.Sprintf("delay revised S%d", ev.Stage), Ph: "i",
+			Ts: ev.T * usec, Pid: c.pidOf(-1), Cat: "watchdog", S: "p",
+			Args: map[string]any{"job": ev.Job, "delay_s": ev.Delay},
+		})
+	}
+}
+
+// flushStage emits the per-node read/compute/write slices of a completed
+// stage. Nodes are iterated in index order, so output is deterministic.
+func (c *ChromeTracer) flushStage(job int, stage dag.StageID, end float64) {
+	k := trackKey{c.Run, job, stage}
+	tr := c.tracks[k]
+	if tr == nil {
+		return
+	}
+	delete(c.tracks, k)
+	args := map[string]any{"job": job}
+	if tr.prefetch {
+		args["prefetch"] = true
+	}
+	for node := 0; node < len(tr.readDone); node++ {
+		rd := tr.readDone[node]
+		if rd < 0 {
+			continue
+		}
+		pid, tid := c.pidOf(node), c.tidOf(job, stage, node)
+		c.events = append(c.events, chromeEvent{
+			Name: fmt.Sprintf("S%d read", stage), Ph: "X",
+			Ts: tr.submit * usec, Dur: (rd - tr.submit) * usec,
+			Pid: pid, Tid: tid, Cat: "read", Args: args,
+		})
+		cd := end
+		if node < len(tr.computeDone) && tr.computeDone[node] >= 0 {
+			cd = tr.computeDone[node]
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: fmt.Sprintf("S%d compute", stage), Ph: "X",
+			Ts: rd * usec, Dur: (cd - rd) * usec,
+			Pid: pid, Tid: tid, Cat: "compute", Args: args,
+		})
+		c.events = append(c.events, chromeEvent{
+			Name: fmt.Sprintf("S%d write", stage), Ph: "X",
+			Ts: cd * usec, Dur: (end - cd) * usec,
+			Pid: pid, Tid: tid, Cat: "write", Args: args,
+		})
+	}
+}
+
+// AddCounters appends per-resource counter tracks from a finished run's
+// tracked usage series: the cluster-wide series when TrackCluster was on,
+// and the tracked node's series when TrackNode was set. Call it once,
+// after sim.Run returns.
+func (c *ChromeTracer) AddCounters(res *sim.Result) {
+	c.addCounterSeries("cluster CPU busy", res.Cluster.CPUBusy)
+	c.addCounterSeries("cluster net B/s", res.Cluster.NetRate)
+	c.addCounterSeries("cluster disk B/s", res.Cluster.DiskRate)
+	c.addCounterSeries("tracked-node CPU busy", res.Node.CPUBusy)
+	c.addCounterSeries("tracked-node net B/s", res.Node.NetRate)
+	c.addCounterSeries("tracked-node disk B/s", res.Node.DiskRate)
+}
+
+func (c *ChromeTracer) addCounterSeries(name string, s sim.Series) {
+	pid := c.pidOf(-1)
+	for _, p := range s {
+		c.events = append(c.events, chromeEvent{
+			Name: name, Ph: "C", Ts: p.T * usec, Pid: pid,
+			Args: map[string]any{"value": p.V},
+		})
+	}
+}
+
+// Write serializes the trace as a JSON object. Incomplete stages (failed
+// jobs, aborted runs) simply have no slices; everything collected so far
+// is written.
+func (c *ChromeTracer) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: c.events, DisplayTimeUnit: "ms"})
+}

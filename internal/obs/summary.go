@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"delaystage/internal/sim"
+)
+
+// Schema identifiers for the JSON summary artifacts. The promise: fields
+// are only ever added, never renamed or removed, within a major version;
+// incompatible changes bump the /vN suffix.
+const (
+	RunSummarySchema         = "delaystage/run-summary/v1"
+	ExperimentsSummarySchema = "delaystage/experiments-summary/v1"
+)
+
+// StageSummary is one stage's timeline in a RunSummary.
+type StageSummary struct {
+	Job           int     `json:"job"`
+	Stage         int     `json:"stage"`
+	ReadySec      float64 `json:"ready_sec"`
+	StartSec      float64 `json:"start_sec"`
+	ReadEndSec    float64 `json:"read_end_sec"`
+	ComputeEndSec float64 `json:"compute_end_sec"`
+	EndSec        float64 `json:"end_sec"`
+	Retries       int     `json:"retries,omitempty"`
+}
+
+// RunSummary is the stable-schema, machine-readable twin of the text
+// output of cmd/simulate: JCTs, utilizations, retry counts and per-stage
+// timelines of one sim.Run.
+type RunSummary struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+
+	JCTSeconds      []float64 `json:"jct_seconds"`
+	MakespanSeconds float64   `json:"makespan_seconds"`
+	AvgCPUUtil      float64   `json:"avg_cpu_util"`
+	AvgNetUtil      float64   `json:"avg_net_util"`
+	AvgDiskUtil     float64   `json:"avg_disk_util"`
+	AvgNetRateBps   float64   `json:"avg_net_rate_bps"`
+	SimEvents       int       `json:"sim_events"`
+	Retries         int       `json:"retries"`
+	// JobErrors[i] is the failure text of job i, or "" if it completed.
+	JobErrors []string       `json:"job_errors,omitempty"`
+	Stages    []StageSummary `json:"stages"`
+}
+
+// NewRunSummary builds a RunSummary from a finished run. Workload,
+// Strategy and Nodes are left for the caller to fill.
+func NewRunSummary(res *sim.Result) *RunSummary {
+	s := &RunSummary{
+		Schema:          RunSummarySchema,
+		MakespanSeconds: res.Makespan,
+		AvgCPUUtil:      res.AvgCPUUtil,
+		AvgNetUtil:      res.AvgNetUtil,
+		AvgDiskUtil:     res.AvgDiskUtil,
+		AvgNetRateBps:   res.AvgNetRate,
+		SimEvents:       res.Events,
+		Retries:         res.Retries,
+	}
+	for i := range res.JobEnd {
+		s.JCTSeconds = append(s.JCTSeconds, res.JCT(i))
+	}
+	for _, err := range res.JobErrors {
+		if err != nil {
+			s.JobErrors = make([]string, len(res.JobErrors))
+			for i, e := range res.JobErrors {
+				if e != nil {
+					s.JobErrors[i] = e.Error()
+				}
+			}
+			break
+		}
+	}
+	for _, tl := range res.Timelines {
+		s.Stages = append(s.Stages, StageSummary{
+			Job: tl.JobIndex, Stage: int(tl.Stage),
+			ReadySec: tl.Ready, StartSec: tl.Start, ReadEndSec: tl.ReadEnd,
+			ComputeEndSec: tl.ComputeEnd, EndSec: tl.End, Retries: tl.Retries,
+		})
+	}
+	return s
+}
+
+// ExperimentsSummary wraps the typed results of an experiments run —
+// the machine-readable twin of cmd/experiments' text tables. Results maps
+// the registry name (fig10, table3, ...) to that experiment's typed
+// result struct; JSON object keys are emitted sorted, so output is
+// deterministic.
+type ExperimentsSummary struct {
+	Schema  string         `json:"schema"`
+	Config  map[string]any `json:"config,omitempty"`
+	Results map[string]any `json:"results"`
+}
+
+// NewExperimentsSummary returns an empty summary ready to collect
+// results.
+func NewExperimentsSummary(config map[string]any) *ExperimentsSummary {
+	return &ExperimentsSummary{
+		Schema:  ExperimentsSummarySchema,
+		Config:  config,
+		Results: map[string]any{},
+	}
+}
+
+// WriteJSON writes v as indented JSON to path; "-" means stdout.
+func WriteJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal %s: %w", path, err)
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

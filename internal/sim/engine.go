@@ -465,6 +465,9 @@ func (e *engine) markReady(st *stageState) {
 	}
 	st.readyValid = true
 	st.tl.Ready = e.now
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvStageReady, Job: st.key.job, Stage: st.key.stage, Node: -1})
+	}
 	if st.submitted {
 		// AggShuffle prefetch already created the read items; readiness
 		// only unblocks compute (handled by parent-completion bookkeeping).
@@ -489,6 +492,9 @@ func (e *engine) submit(st *stageState, prefetch bool) {
 		st.computeTot = st.profile.perNodeIn * float64(e.nNodes) * (1 + e.opt.AggShuffleOverhead)
 	}
 	st.tl.Start = e.now
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvStageSubmitted, Job: st.key.job, Stage: st.key.stage, Node: -1, Prefetch: prefetch})
+	}
 	st.readsLeft = e.nNodes
 	st.computeLeft = e.nNodes
 	st.writesLeft = e.nNodes
@@ -510,6 +516,9 @@ func (e *engine) submit(st *stageState, prefetch bool) {
 }
 
 func (e *engine) finishRead(st *stageState, node int) {
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvReadDone, Job: st.key.job, Stage: st.key.stage, Node: node})
+	}
 	st.readsLeft--
 	if st.readsLeft == 0 {
 		st.tl.ReadEnd = e.now
@@ -550,6 +559,9 @@ func (e *engine) startCompute(st *stageState, node int) {
 }
 
 func (e *engine) finishCompute(st *stageState, node int) {
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvComputeDone, Job: st.key.job, Stage: st.key.stage, Node: node})
+	}
 	st.computeLeft--
 	if st.computeLeft == 0 {
 		st.tl.ComputeEnd = e.now
@@ -578,9 +590,15 @@ func (e *engine) finishWrite(st *stageState, node int) {
 	if e.now > e.res.JobEnd[st.key.job] {
 		e.res.JobEnd[st.key.job] = e.now
 	}
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvStageCompleted, Job: st.key.job, Stage: st.key.stage, Node: -1})
+	}
 	e.stagesLeft[st.key.job]--
 	if e.stagesLeft[st.key.job] == 0 {
 		e.jobsLeft--
+		if o := e.opt.Observer; o != nil {
+			o.OnEvent(Event{T: e.now, Kind: EvJobDone, Job: st.key.job, Stage: -1, Node: -1})
+		}
 	}
 	if e.opt.Watchdog != nil {
 		e.applyDelayUpdates(e.opt.Watchdog.StageCompleted(WatchEvent{

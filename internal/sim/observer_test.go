@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"delaystage/internal/faults"
+	"delaystage/internal/workload"
+)
+
+// recorder captures the event stream for inspection.
+type recorder struct{ events []Event }
+
+func (r *recorder) OnEvent(ev Event) { r.events = append(r.events, ev) }
+
+// TestObserverDoesNotPerturbRun: attaching an observer must leave every
+// simulated quantity bit-identical to the unobserved run.
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	c := ref(10)
+	job := workload.PaperWorkloads(c, 0.3)["LDA"]
+	inj, err := faults.NewInjector(faults.FaultPlan{
+		Seed: 7, TaskFailureProb: 0.05,
+		Crashes: []faults.NodeCrash{{Node: 1, At: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, _ := faults.NewInjector(faults.FaultPlan{
+		Seed: 7, TaskFailureProb: 0.05,
+		Crashes: []faults.NodeCrash{{Node: 1, At: 40}},
+	})
+
+	base := mustRun(t, Options{Cluster: c, TrackNode: 0, TrackCluster: true,
+		Faults: inj, MaxAttempts: 8}, []JobRun{{Job: job}})
+	rec := &recorder{}
+	observed := mustRun(t, Options{Cluster: c, TrackNode: 0, TrackCluster: true,
+		Faults: inj2, MaxAttempts: 8, Observer: rec}, []JobRun{{Job: job}})
+
+	if base.Makespan != observed.Makespan {
+		t.Errorf("makespan changed under observation: %v vs %v", base.Makespan, observed.Makespan)
+	}
+	if base.Retries != observed.Retries {
+		t.Errorf("retries changed under observation: %d vs %d", base.Retries, observed.Retries)
+	}
+	if !reflect.DeepEqual(base.Timelines, observed.Timelines) {
+		t.Error("stage timelines changed under observation")
+	}
+	if len(rec.events) == 0 {
+		t.Fatal("observer saw no events")
+	}
+}
+
+// TestObserverEventStream checks the stream is well-formed: monotonic
+// timestamps, per-stage lifecycle order, correct terminal events.
+func TestObserverEventStream(t *testing.T) {
+	c := ref(5)
+	job := chainJob(c, 20, 30, 10, 0)
+	rec := &recorder{}
+	res := mustRun(t, Options{Cluster: c, TrackNode: -1, Observer: rec},
+		[]JobRun{{Job: job, Delays: nil}})
+
+	last := -1.0
+	phase := map[skey]int{} // stage → lifecycle rank reached
+	var jobDone bool
+	for i, ev := range rec.events {
+		if ev.T < last {
+			t.Fatalf("event %d: time went backwards (%v after %v)", i, ev.T, last)
+		}
+		last = ev.T
+		if ev.Kind.String() == "unknown" {
+			t.Fatalf("event %d has unknown kind %d", i, ev.Kind)
+		}
+		switch ev.Kind {
+		case EvStageReady, EvStageSubmitted, EvStageCompleted:
+			k := skey{ev.Job, ev.Stage}
+			rank := map[EventKind]int{EvStageReady: 1, EvStageSubmitted: 2, EvStageCompleted: 3}[ev.Kind]
+			if rank <= phase[k] {
+				t.Fatalf("event %d: stage %v lifecycle out of order (%v at rank %d)", i, k, ev.Kind, phase[k])
+			}
+			phase[k] = rank
+		case EvReadDone, EvComputeDone:
+			if ev.Node < 0 {
+				t.Fatalf("event %d: %v without a node", i, ev.Kind)
+			}
+		case EvJobDone:
+			jobDone = true
+			if ev.T != res.JobEnd[ev.Job] {
+				t.Errorf("job_done at %v, JobEnd says %v", ev.T, res.JobEnd[ev.Job])
+			}
+		}
+	}
+	if !jobDone {
+		t.Error("no job_done event")
+	}
+	for _, id := range job.Graph.Stages() {
+		if phase[skey{0, id}] != 3 {
+			t.Errorf("stage %d never completed in the stream (rank %d)", id, phase[skey{0, id}])
+		}
+	}
+}
+
+// TestObserverFaultEvents: retries, crashes and job failures surface as
+// typed events.
+func TestObserverFaultEvents(t *testing.T) {
+	c := ref(5)
+	job := twoParallelJob(c, 10, 30, 10)
+	inj, err := faults.NewInjector(faults.FaultPlan{
+		Seed: 3, Crashes: []faults.NodeCrash{{Node: 2, At: 15}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	mustRun(t, Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8,
+		Observer: rec}, []JobRun{{Job: job}})
+
+	var crash, retry bool
+	for _, ev := range rec.events {
+		switch ev.Kind {
+		case EvNodeCrash:
+			crash = true
+			if ev.Node != 2 {
+				t.Errorf("crash on node %d, want 2", ev.Node)
+			}
+		case EvTaskRetry:
+			retry = true
+			if ev.Delay <= 0 {
+				t.Errorf("retry with non-positive backoff %v", ev.Delay)
+			}
+		}
+	}
+	if !crash {
+		t.Error("no node_crash event")
+	}
+	if !retry {
+		t.Error("no task_retry event after the crash killed in-flight tasks")
+	}
+}
+
+// TestEventKindStrings pins the wire names — the JSONL schema depends on
+// them being stable.
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EvStageReady:     "stage_ready",
+		EvStageSubmitted: "stage_submitted",
+		EvReadDone:       "read_done",
+		EvComputeDone:    "compute_done",
+		EvStageCompleted: "stage_completed",
+		EvTaskRetry:      "task_retry",
+		EvNodeCrash:      "node_crash",
+		EvDelayRevised:   "delay_revised",
+		EvJobDone:        "job_done",
+		EvJobFailed:      "job_failed",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

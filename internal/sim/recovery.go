@@ -48,6 +48,10 @@ func (e *engine) taskFailed(it *item) {
 	e.seq++
 	e.timers.push(timer{at: e.now + backoff, seq: e.seq, kind: tRetry, key: it.key,
 		job: it.key.job, node: it.node, ph: it.ph, attempt: it.attempt + 1, recomp: it.recompute})
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvTaskRetry, Job: it.key.job, Stage: it.key.stage,
+			Node: it.node, Attempt: it.attempt, Delay: backoff})
+	}
 	if e.opt.Watchdog != nil {
 		e.applyDelayUpdates(e.opt.Watchdog.TaskRetried(it.key.job, it.key.stage, it.node, it.attempt, e.now))
 	}
@@ -91,6 +95,9 @@ func (e *engine) retryTask(t timer) {
 func (e *engine) crashNode(w int) {
 	if w < 0 || w >= e.nNodes {
 		return
+	}
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvNodeCrash, Job: -1, Stage: -1, Node: w})
 	}
 	kept := e.items[:0]
 	var killed []*item
@@ -231,6 +238,9 @@ func (e *engine) failJob(job int, err error) {
 	e.failed[job] = true
 	e.res.JobErrors[job] = err
 	e.res.JobEnd[job] = e.now
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvJobFailed, Job: job, Stage: -1, Node: -1, Detail: err.Error()})
+	}
 	if e.stagesLeft[job] > 0 {
 		e.stagesLeft[job] = 0
 		e.jobsLeft--
@@ -266,6 +276,9 @@ func (e *engine) applyDelayUpdates(us []DelayUpdate) {
 		}
 		dd := d
 		st.delayOverride = &dd
+		if o := e.opt.Observer; o != nil {
+			o.OnEvent(Event{T: e.now, Kind: EvDelayRevised, Job: u.Job, Stage: u.Stage, Node: -1, Delay: dd})
+		}
 		if st.readyValid {
 			at := st.tl.Ready + dd
 			if at < e.now {

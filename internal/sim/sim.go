@@ -78,6 +78,12 @@ type Options struct {
 	// may revise the submission delays of not-yet-submitted stages (the
 	// guarded DelayStage strategy plugs in here). Nil: no monitoring.
 	Watchdog Watchdog
+	// Observer receives typed lifecycle events (stage ready/submitted/
+	// read-done/compute-done/completed, task retry, node crash, watchdog
+	// delay revision, job done/failed) synchronously from the event loop.
+	// Nil (the default) is bit-identical to a build without the
+	// observability layer and adds no hot-path allocations.
+	Observer Observer
 }
 
 // WatchEvent is what a Watchdog sees when a stage completes.
