@@ -1,0 +1,104 @@
+// Command analyze recomputes the attribution report offline from a JSONL
+// event log written by cmd/simulate -events (or cmd/replay -events with
+// -run to pick one labelled run). Given the same workload flags the run
+// was produced with, its output is byte-identical to the report cmd/
+// simulate -report printed live — attribution is a pure function of the
+// event stream plus static context, so post-mortems need only the log.
+//
+// Usage:
+//
+//	simulate -workload TriangleCount -events run.jsonl
+//	analyze -events run.jsonl -workload TriangleCount
+//	analyze -events replay.jsonl -run 3 ...
+//	cat run.jsonl | analyze -events -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"delaystage/internal/attr"
+	"delaystage/internal/cluster"
+	"delaystage/internal/jobspec"
+	"delaystage/internal/obs"
+	"delaystage/internal/workload"
+)
+
+func main() {
+	eventsPath := flag.String("events", "", "JSONL event log to analyze (\"-\" = stdin); required")
+	name := flag.String("workload", "TriangleCount", "ALS | ConnectedComponents | CosineSimilarity | LDA | TriangleCount — must match the logged run")
+	nodes := flag.Int("nodes", 30, "cluster size of the logged run")
+	scale := flag.Float64("scale", 1.0, "workload duration scale of the logged run")
+	specPath := flag.String("spec", "", "JSON job spec (overrides -workload)")
+	run := flag.Int("run", -1, "run label to analyze in a multi-run log (-1 = unlabelled lines)")
+	alpha := flag.Float64("alpha", 0, "engine ContentionOverhead of the logged run (0 = the 0.22 default, negative = none)")
+	flag.Parse()
+	if *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "analyze: -events is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if *eventsPath != "-" {
+		f, err := os.Open(*eventsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	logged, err := obs.ReadEvents(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := obs.EventsOfRun(logged, *run)
+	if len(events) == 0 {
+		runs := obs.Runs(logged)
+		log.Fatalf("analyze: no events with run label %d (labels present: %v)", *run, runs)
+	}
+
+	c := cluster.NewM4LargeCluster(*nodes)
+	var job *workload.Job
+	switch {
+	case *specPath != "":
+		spec, err := jobspec.Load(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		j, err := spec.Job(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job = j
+	case *name == "ALS":
+		job = workload.ALS(c, *scale)
+	default:
+		job = workload.PaperWorkloads(c, *scale)[*name]
+	}
+	if job == nil {
+		log.Fatalf("unknown workload %q", *name)
+	}
+
+	// The selected run may contain several job indices (multi-job sims);
+	// each is attributed against the same workload description.
+	maxJob := 0
+	for _, ev := range events {
+		if ev.Job > maxJob {
+			maxJob = ev.Job
+		}
+	}
+	jobs := make([]*workload.Job, maxJob+1)
+	for i := range jobs {
+		jobs[i] = job
+	}
+
+	rep, err := attr.Build(attr.Context{Cluster: c, Jobs: jobs, Alpha: *alpha}, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+}

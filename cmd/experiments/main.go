@@ -7,7 +7,12 @@
 //
 //	experiments [-scale f] [-nodes n] [-trace-jobs n] [-reps n] [-seed n]
 //	            [-parallelism n] [-only fig10,table3,...] [-timeout d]
-//	            [-json results.json]
+//	            [-json results.json] [-serve 127.0.0.1:9090]
+//
+// -serve exposes live progress while the grid runs: /metrics (experiments
+// completed, grid cells remaining/completed, per-experiment durations),
+// /healthz and /debug/pprof. Progress hooks never perturb results — the
+// rendered tables are byte-identical with or without -serve.
 package main
 
 import (
@@ -87,11 +92,33 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (fig2..fig17, table3, table4, a2, overhead, geo, online, sensitivity, fault)")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock guard (0 = none); an experiment past it is abandoned with a partial-results warning")
 	jsonPath := flag.String("json", "", "write a machine-readable summary of every experiment's results to this file (\"-\" = stdout)")
+	serveAddr := flag.String("serve", "", "serve live introspection (/metrics, /healthz, /debug/pprof) on this address while experiments run")
+	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the last experiment (for scraping short runs)")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Scale: *scale, Nodes: *nodes, TraceJobs: *traceJobs,
 		Reps: *reps, Seed: *seed, Parallelism: *parallelism, W: os.Stdout,
+	}
+	var srv *obs.Server
+	var expDone *obs.Counter
+	var expSeconds *obs.Histogram
+	if *serveAddr != "" {
+		reg := obs.NewRegistry()
+		expDone = reg.Counter("experiments_completed_total", "", "experiments (figures/tables) completed")
+		expSeconds = reg.Histogram("experiments_experiment_seconds", "",
+			"wall-clock duration of each experiment", obs.ExpBuckets(0.1, 4, 8))
+		cellsDone := reg.Counter("experiments_cells_completed_total", "", "grid cells completed")
+		cellsLeft := reg.Gauge("experiments_cells_remaining", "", "grid cells announced but not yet completed")
+		cfg.OnGrid = func(n int) { cellsLeft.Add(float64(n)) }
+		cfg.OnCell = func() { cellsDone.Inc(); cellsLeft.Add(-1) }
+		s, err := obs.Serve(*serveAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "serving introspection on http://%s\n", srv.Addr)
 	}
 	runners := map[string]func(experiments.Config) (any, error){}
 	var order []string
@@ -117,10 +144,15 @@ func main() {
 		"reps": *reps, "seed": *seed,
 	})
 	for _, name := range order {
+		started := time.Now()
 		res, err := runGuarded(name, runners[name], cfg, *timeout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if expDone != nil {
+			expDone.Inc()
+			expSeconds.Observe(time.Since(started).Seconds())
 		}
 		if res != nil {
 			summary.Results[name] = res
@@ -128,6 +160,16 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if err := obs.WriteJSON(*jsonPath, summary); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *linger, srv.Addr)
+			time.Sleep(*linger)
+		}
+		if err := srv.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

@@ -21,6 +21,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
@@ -46,6 +47,8 @@ func main() {
 	eventsPath := flag.String("events", "", "write a JSONL event log of the default-DelayStage replays to this file (\"-\" = stdout)")
 	tracePath := flag.String("chrometrace", "", "write a Chrome trace of the default-DelayStage replays to this file")
 	jsonPath := flag.String("json", "", "write a machine-readable per-variant summary to this file (\"-\" = stdout)")
+	serveAddr := flag.String("serve", "", "serve live introspection (/metrics with per-variant JCT histograms, /healthz, /debug/pprof) on this address during the replay")
+	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the replay (for scraping short runs)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -89,6 +92,19 @@ func main() {
 	if *tracePath != "" {
 		tracer = obs.NewChromeTracer()
 	}
+	var reg *obs.Registry
+	var srv *obs.Server
+	var runsDone *obs.Counter
+	if *serveAddr != "" {
+		reg = obs.NewRegistry()
+		runsDone = reg.Counter("replay_runs_completed_total", "", "sim runs completed across all variants")
+		s, err := obs.Serve(*serveAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "serving introspection on http://%s\n", srv.Addr)
+	}
 	summary := map[string]*variantSummary{}
 
 	type variant struct {
@@ -105,6 +121,11 @@ func main() {
 		// Observers tap the default-DelayStage variant — the paper's
 		// headline configuration — with one "run" per trace job.
 		observed := v.order == core.Descending && !v.plain
+		var jctHist *obs.Histogram
+		if reg != nil {
+			jctHist = reg.Histogram("replay_jct_seconds", fmt.Sprintf("{variant=%q}", v.name),
+				"per-job completion time by scheduling variant", obs.ExpBuckets(10, 2, 12))
+		}
 		var jcts []float64
 		var cpuInt, netInt, timeInt float64
 		for i := range tr.Jobs {
@@ -142,6 +163,10 @@ func main() {
 			}
 			jct := res.JCT(0)
 			jcts = append(jcts, jct)
+			if jctHist != nil {
+				jctHist.Observe(jct)
+				runsDone.Inc()
+			}
 			cpuInt += res.AvgCPUUtil * jct
 			netInt += res.AvgNetUtil * jct
 			timeInt += jct
@@ -183,6 +208,15 @@ func main() {
 			out.Results[name] = vs
 		}
 		if err := obs.WriteJSON(*jsonPath, out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *linger, srv.Addr)
+			time.Sleep(*linger)
+		}
+		if err := srv.Close(); err != nil {
 			log.Fatal(err)
 		}
 	}

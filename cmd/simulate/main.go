@@ -9,6 +9,8 @@
 //	simulate -fault-rate 0.1 -straggler-frac 0.25 -straggler-factor 3 -guarded
 //	simulate -crash-node 1 -crash-at 120 -fault-seed 7 -max-retries 4
 //	simulate -events run.jsonl -chrometrace trace.json -json summary.json
+//	simulate -report                      # append the attribution report
+//	simulate -serve 127.0.0.1:9090 -linger 30s   # live /metrics, /healthz, pprof
 package main
 
 import (
@@ -16,7 +18,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"delaystage/internal/attr"
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
 	"delaystage/internal/faults"
@@ -46,6 +50,9 @@ func main() {
 	eventsPath := flag.String("events", "", "write a JSONL event log of the run to this file (\"-\" = stdout)")
 	tracePath := flag.String("chrometrace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to this file")
 	jsonPath := flag.String("json", "", "write a machine-readable run summary to this file (\"-\" = stdout)")
+	report := flag.Bool("report", false, "append the attribution report (time decomposition, contention matrix, critical path); cmd/analyze reproduces it byte-identically from a -events log")
+	serveAddr := flag.String("serve", "", "serve live introspection (/metrics, /healthz, /debug/pprof) on this address while the run executes")
+	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the run finishes (for scraping short runs)")
 	flag.Parse()
 
 	c := cluster.NewM4LargeCluster(*nodes)
@@ -131,10 +138,27 @@ func main() {
 	if *tracePath != "" {
 		tracer = obs.NewChromeTracer()
 	}
+	var collector *attr.Collector
+	if *report {
+		collector = &attr.Collector{}
+	}
+	var live *attr.Live
+	var reg *obs.Registry
+	var srv *obs.Server
+	if *serveAddr != "" {
+		reg = obs.NewRegistry()
+		live = attr.NewLive(reg, fmt.Sprintf("strategy=%q", strat.Name()))
+		s, err := obs.Serve(*serveAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "serving introspection on http://%s\n", srv.Addr)
+	}
 
 	opt := sim.Options{Cluster: c, TrackNode: 0, TrackCluster: tracer != nil,
 		AggShuffle: p.AggShuffle, Faults: inj, MaxAttempts: *maxRetries,
-		Watchdog: p.Watchdog, Observer: obs.Multi(jsonl, tracer)}
+		Watchdog: p.Watchdog, Observer: obs.Multi(jsonl, tracer, collector, live)}
 	res, err := sim.Run(opt, []sim.JobRun{{Job: job, Delays: p.Delays}})
 	if err != nil {
 		log.Fatal(err)
@@ -206,5 +230,25 @@ func main() {
 	}
 	if len(p.Delays) > 0 {
 		fmt.Printf("delays: %v\n", p.Delays)
+	}
+	if collector != nil {
+		rep, err := attr.Build(attr.Context{Cluster: c, Jobs: []*workload.Job{job}}, collector.Events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(rep.Render())
+	}
+	if reg != nil {
+		reg.Histogram("attr_makespan_seconds", fmt.Sprintf("{strategy=%q}", strat.Name()),
+			"makespan distribution of completed runs",
+			obs.ExpBuckets(10, 2, 10)).Observe(res.Makespan)
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *linger, srv.Addr)
+			time.Sleep(*linger)
+		}
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,84 @@
+package attr
+
+import (
+	"fmt"
+
+	"delaystage/internal/obs"
+	"delaystage/internal/sim"
+)
+
+// Live streams attribution gauges into an obs.Registry while a simulation
+// runs, for scraping via the -serve introspection endpoint. It consumes
+// the engine's per-interval resource-share snapshots (sim.ShareObserver),
+// so its numbers are exact integrals, not samples — but unlike the
+// report, they exist only while the process runs; offline analysis uses
+// Build over the event log instead.
+//
+// Exported series (all with an optional extra label, e.g. the strategy):
+//
+//	attr_sim_seconds                  current simulation time
+//	attr_stages_completed_total       stages that finished
+//	attr_retries_total                failed partition attempts
+//	attr_contention_wait_seconds{res} Σ dt·(1 − rate/iso) over items
+//	attr_active_items{res}            items sharing the resource now
+type Live struct {
+	simTime *obs.Gauge
+	stages  *obs.Counter
+	retries *obs.Counter
+	wait    [3]*obs.Counter
+	active  [3]*obs.Gauge
+}
+
+// NewLive registers the attribution series in reg. label is an optional
+// Prometheus label pair like `strategy="spark"` (no braces) merged into
+// every series; pass "" for none.
+func NewLive(reg *obs.Registry, label string) *Live {
+	plain, withRes := "", ""
+	if label != "" {
+		plain = "{" + label + "}"
+		withRes = "," + label
+	}
+	l := &Live{
+		simTime: reg.Gauge("attr_sim_seconds", plain, "current simulation time in seconds"),
+		stages:  reg.Counter("attr_stages_completed_total", plain, "stages completed"),
+		retries: reg.Counter("attr_retries_total", plain, "failed partition attempts"),
+	}
+	for _, res := range []sim.Resource{sim.ResNet, sim.ResCPU, sim.ResDisk} {
+		lab := fmt.Sprintf("{res=%q%s}", res.String(), withRes)
+		l.wait[res] = reg.Counter("attr_contention_wait_seconds", lab,
+			"seconds lost to resource sharing, integrated over work items")
+		l.active[res] = reg.Gauge("attr_active_items", lab,
+			"work items currently sharing the resource")
+	}
+	return l
+}
+
+// OnEvent implements sim.Observer.
+func (l *Live) OnEvent(ev sim.Event) {
+	l.simTime.Set(ev.T)
+	switch ev.Kind {
+	case sim.EvStageCompleted:
+		l.stages.Inc()
+	case sim.EvTaskRetry:
+		l.retries.Inc()
+	}
+}
+
+// OnShares implements sim.ShareObserver.
+func (l *Live) OnShares(t, dt float64, samples []sim.ShareSample) {
+	var counts [3]float64
+	for _, s := range samples {
+		counts[s.Res]++
+		if s.IsoRate <= 0 {
+			continue
+		}
+		loss := 1 - s.Rate/s.IsoRate
+		if loss > 0 {
+			l.wait[s.Res].Add(dt * loss)
+		}
+	}
+	l.simTime.Set(t + dt)
+	for res, n := range counts {
+		l.active[res].Set(n)
+	}
+}

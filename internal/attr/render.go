@@ -1,0 +1,178 @@
+package attr
+
+import (
+	"fmt"
+	"strings"
+
+	"delaystage/internal/sim"
+)
+
+// maxPairLines bounds the contention-pair section; the tail is disclosed
+// as an aggregate so truncation is never silent.
+const maxPairLines = 15
+
+// Render produces the human-readable bottleneck report. The output is a
+// pure function of the Report value — fixed column formats, sorted
+// iteration, no timestamps — so live (cmd/simulate -report) and offline
+// (cmd/analyze) renderings of the same run are byte-identical.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== attribution report (alpha %.2f) ==\n", r.Alpha)
+	fmt.Fprintf(&b, "makespan %.2f s   total contention %.2f s   interleaving efficiency %.3f\n",
+		r.Makespan, r.TotalContention, r.Efficiency)
+	for ji, msg := range r.JobErrors {
+		if msg != "" {
+			fmt.Fprintf(&b, "job %d FAILED: %s\n", ji, msg)
+		}
+	}
+
+	b.WriteString("\n-- stage decomposition (seconds; waits are node-summed) --\n")
+	b.WriteString("stage      ready   submit      end    delay    ideal   actual  net-wait  cpu-wait disk-wait    slack  flags\n")
+	for i := range r.Stages {
+		s := &r.Stages[i]
+		flags := ""
+		if s.Critical {
+			flags += "crit"
+		}
+		if s.Prefetch {
+			if flags != "" {
+				flags += ","
+			}
+			flags += "prefetch"
+		}
+		if s.Retries > 0 {
+			if flags != "" {
+				flags += ","
+			}
+			flags += fmt.Sprintf("retries=%d", s.Retries)
+		}
+		fmt.Fprintf(&b, "%-8s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f %9.2f %9.2f %8.2f  %s\n",
+			s.Ref, s.Ready, s.Submit, s.End, s.DelayWait, s.Ideal, s.Actual,
+			s.Wait[sim.ResNet], s.Wait[sim.ResCPU], s.Wait[sim.ResDisk], s.Slack, flags)
+	}
+
+	b.WriteString("\n-- contention pairs (loss-weighted overlap seconds) --\n")
+	if len(r.Pairs) == 0 {
+		b.WriteString("none: no resource was ever shared between stages\n")
+	}
+	shown := r.Pairs
+	if len(shown) > maxPairLines {
+		shown = shown[:maxPairLines]
+	}
+	for _, p := range shown {
+		fmt.Fprintf(&b, "%-8s x %-8s %-4s %8.2f\n", p.A, p.B, p.Res, p.Seconds)
+	}
+	if extra := len(r.Pairs) - len(shown); extra > 0 {
+		rest := 0.0
+		for _, p := range r.Pairs[len(shown):] {
+			rest += p.Seconds
+		}
+		fmt.Fprintf(&b, "... %d more pairs (%.2f s)\n", extra, rest)
+	}
+
+	for _, path := range r.Paths {
+		fmt.Fprintf(&b, "\n-- critical path job %d (%d stages, %.2f s response on a %.2f s job) --\n",
+			path.Job, len(path.Stages), path.Length, path.End)
+		for _, id := range path.Stages {
+			s := r.Stage(StageRef{path.Job, id})
+			fmt.Fprintf(&b, "S%-3d ready %8.2f  end %8.2f  resp %8.2f  wait %8.2f\n",
+				id, s.Ready, s.End, s.End-s.Ready, s.TotalWait())
+		}
+	}
+
+	b.WriteString("\n-- bottlenecks --\n")
+	b.WriteString(r.bottlenecks())
+	return b.String()
+}
+
+// bottlenecks summarizes the largest losses in prose: the worst-waiting
+// critical stage, its dominant resource and co-runner, and the delay
+// headroom of the slackest stages.
+func (r *Report) bottlenecks() string {
+	var b strings.Builder
+	// Worst contention wait on the critical path — falling back to any
+	// stage when no path was extracted or the path itself is clean.
+	var worst *StageAttr
+	for i := range r.Stages {
+		s := &r.Stages[i]
+		if !s.Critical {
+			continue
+		}
+		if worst == nil || s.TotalWait() > worst.TotalWait() {
+			worst = s
+		}
+	}
+	if worst == nil || worst.TotalWait() == 0 {
+		for i := range r.Stages {
+			s := &r.Stages[i]
+			if worst == nil || s.TotalWait() > worst.TotalWait() {
+				worst = s
+			}
+		}
+	}
+	if worst == nil {
+		b.WriteString("no completed stages\n")
+		return b.String()
+	}
+	if worst.TotalWait() == 0 {
+		b.WriteString("no contention anywhere: every stage ran at isolated speed\n")
+		return b.String()
+	}
+	res := sim.ResNet
+	for _, cand := range []sim.Resource{sim.ResCPU, sim.ResDisk} {
+		if worst.Wait[cand] > worst.Wait[res] {
+			res = cand
+		}
+	}
+	fmt.Fprintf(&b, "%s loses %.2f s to contention (%.2f s on %s)",
+		worst.Ref, worst.TotalWait(), worst.Wait[res], res)
+	// Its biggest co-runner on that resource.
+	for _, p := range r.Pairs {
+		if p.Res != res || (p.A != worst.Ref && p.B != worst.Ref) {
+			continue
+		}
+		other := p.A
+		if other == worst.Ref {
+			other = p.B
+		}
+		fmt.Fprintf(&b, ", mostly against %s (%.2f s)", other, p.Seconds)
+		break
+	}
+	if worst.Critical {
+		b.WriteString("; it is on the critical path, so this loss moves the makespan\n")
+	} else {
+		fmt.Fprintf(&b, "; it has %.2f s of slack, so the loss may be absorbed\n", worst.Slack)
+	}
+	// Delay headroom: the stages that tolerate the most extra delay.
+	type headroom struct {
+		ref   StageRef
+		slack float64
+	}
+	var hs []headroom
+	for i := range r.Stages {
+		s := &r.Stages[i]
+		if s.Slack > 0 {
+			hs = append(hs, headroom{s.Ref, s.Slack})
+		}
+	}
+	if len(hs) == 0 {
+		b.WriteString("no stage has slack: every submission delay is load-bearing\n")
+		return b.String()
+	}
+	// Stable order: slack descending, then ref.
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && (hs[j].slack > hs[j-1].slack ||
+			(hs[j].slack == hs[j-1].slack && hs[j].ref.less(hs[j-1].ref))); j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+	if len(hs) > 3 {
+		hs = hs[:3]
+	}
+	b.WriteString("delay headroom:")
+	for _, h := range hs {
+		fmt.Fprintf(&b, " %s=%.2fs", h.ref, h.slack)
+	}
+	b.WriteString(" (extra delay these stages absorb without moving their job's end)\n")
+	return b.String()
+}

@@ -48,6 +48,14 @@ type Config struct {
 	Parallelism int
 	// W receives the rendered output (default io.Discard).
 	W io.Writer
+	// OnGrid, when non-nil, is called once before each batch of
+	// independent grid cells runs, with the batch's cell count — live
+	// introspection (cmd/experiments -serve) uses it to publish how much
+	// work remains. OnCell is called once per completed cell, possibly
+	// from worker goroutines, so implementations must be safe for
+	// concurrent use. Neither hook may block: cells wait on nothing.
+	OnGrid func(cells int)
+	OnCell func()
 }
 
 func (c *Config) defaults() {
@@ -112,6 +120,25 @@ func jitterCluster(base *cluster.Cluster, rng *rand.Rand, frac float64) *cluster
 // sequential loop that stops at the first error; in parallel mode every
 // claimed cell still runs and the lowest-index error is returned, keeping
 // the reported failure deterministic.
+// forEach runs fn over n independent cells on the Config's worker count,
+// reporting batch size and per-cell completion through the OnGrid/OnCell
+// hooks. Experiments call this method (not the free function) so every
+// grid is visible to live introspection.
+func (c *Config) forEach(n int, fn func(i int) error) error {
+	if c.OnGrid != nil {
+		c.OnGrid(n)
+	}
+	if c.OnCell != nil {
+		inner := fn
+		fn = func(i int) error {
+			err := inner(i)
+			c.OnCell()
+			return err
+		}
+	}
+	return forEach(c.Parallelism, n, fn)
+}
+
 func forEach(parallelism, n int, fn func(i int) error) error {
 	if parallelism <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {

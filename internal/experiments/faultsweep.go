@@ -101,7 +101,7 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 	// above, so the grid fans out; rows are collected indexed and rendered
 	// in the original order afterwards.
 	rows := make([]map[string]float64, len(faultSweepGrid)*len(workloadNames))
-	err = forEach(cfg.Parallelism, len(rows), func(ci int) error {
+	err = cfg.forEach(len(rows), func(ci int) error {
 		pi := ci / len(workloadNames)
 		g := faultSweepGrid[pi]
 		name := workloadNames[ci%len(workloadNames)]

@@ -62,7 +62,7 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 	}
 	type cell struct{ spark, agg, delay float64 }
 	cells := make([]cell, len(clusters))
-	err := forEach(cfg.Parallelism, len(cells), func(i int) error {
+	err := cfg.forEach(len(cells), func(i int) error {
 		name := workloadNames[i/cfg.Reps]
 		rep := i % cfg.Reps
 		seed := cfg.Seed + int64(rep)*101

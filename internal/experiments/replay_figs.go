@@ -81,7 +81,7 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 		strat := strat
 		type jobOutcome struct{ jct, cpu, net float64 }
 		outcomes := make([]jobOutcome, len(prepared))
-		err := forEach(cfg.Parallelism, len(prepared), func(i int) error {
+		err := cfg.forEach(len(prepared), func(i int) error {
 			pj := prepared[i]
 			var delays map[dag.StageID]float64
 			if !strat.fuxi {

@@ -104,7 +104,7 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	// are dropped in group order afterwards.
 	cpuByGroup := make([][]float64, groups)
 	netByGroup := make([][]float64, groups)
-	err := forEach(cfg.Parallelism, groups, func(g int) error {
+	err := cfg.forEach(groups, func(g int) error {
 		var runs []sim.JobRun
 		for i := range tr.Jobs {
 			if i%groups != g {

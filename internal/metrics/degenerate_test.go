@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the package's degenerate-input contracts (see the
+// block comment above Mean): empty inputs give zero sentinels, NaN
+// propagates instead of panicking, out-of-range ranks clamp.
+
+func TestEmptyInputContracts(t *testing.T) {
+	if v := Mean(nil); v != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", v)
+	}
+	if v := StdDev(nil); v != 0 {
+		t.Errorf("StdDev(nil) = %v, want 0", v)
+	}
+	if v := StdDev([]float64{5}); v != 0 {
+		t.Errorf("StdDev(single) = %v, want 0", v)
+	}
+	if v := Percentile(nil, 50); v != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", v)
+	}
+	c := NewCDF(nil)
+	if v := c.Quantile(0.5); v != 0 {
+		t.Errorf("empty CDF Quantile = %v, want 0", v)
+	}
+	if v := c.At(3); v != 0 {
+		t.Errorf("empty CDF At = %v, want 0", v)
+	}
+	if c.N() != 0 {
+		t.Errorf("empty CDF N = %d", c.N())
+	}
+	if m, s := TimeWeightedMeanStd(nil, 0, 10); m != 0 || s != 0 {
+		t.Errorf("TimeWeightedMeanStd(nil) = %v, %v, want 0, 0", m, s)
+	}
+}
+
+func TestInvertedWindowContracts(t *testing.T) {
+	pts := []StepPoint{{T: 0, V: 3}, {T: 5, V: 7}}
+	if m, s := TimeWeightedMeanStd(pts, 10, 10); m != 0 || s != 0 {
+		t.Errorf("zero-length window = %v, %v, want 0, 0", m, s)
+	}
+	if m, s := TimeWeightedMeanStd(pts, 10, 5); m != 0 || s != 0 {
+		t.Errorf("inverted window = %v, %v, want 0, 0", m, s)
+	}
+	// Window entirely before the series: no overlapping segment.
+	if m, s := TimeWeightedMeanStd([]StepPoint{{T: 100, V: 3}}, 0, 10); m != 0 || s != 0 {
+		t.Errorf("non-overlapping window = %v, %v, want 0, 0", m, s)
+	}
+}
+
+func TestNaNRankContracts(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if v := Percentile(xs, math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Percentile(NaN) = %v, want NaN", v)
+	}
+	if v := NewCDF(xs).Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", v)
+	}
+}
+
+func TestNaNSamplePropagation(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	if v := Mean(xs); !math.IsNaN(v) {
+		t.Errorf("Mean with NaN sample = %v, want NaN", v)
+	}
+	if v := StdDev(xs); !math.IsNaN(v) {
+		t.Errorf("StdDev with NaN sample = %v, want NaN", v)
+	}
+	// NaN sorts below all other values, so it surfaces at p=0.
+	if v := Percentile(xs, 0); !math.IsNaN(v) {
+		t.Errorf("Percentile(p=0) with NaN sample = %v, want NaN", v)
+	}
+	// The max side stays finite.
+	if v := Percentile(xs, 100); v != 3 {
+		t.Errorf("Percentile(p=100) with NaN sample = %v, want 3", v)
+	}
+	pts := []StepPoint{{T: 0, V: math.NaN()}, {T: 5, V: 1}}
+	if m, _ := TimeWeightedMeanStd(pts, 0, 10); !math.IsNaN(m) {
+		t.Errorf("TimeWeightedMeanStd with NaN value = %v, want NaN", m)
+	}
+	if m, _ := TimeWeightedMeanStd([]StepPoint{{T: 0, V: 1}}, 0, math.NaN()); !math.IsNaN(m) {
+		t.Errorf("TimeWeightedMeanStd with NaN bound = %v, want NaN", m)
+	}
+}
+
+func TestRankClamping(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	if v := Percentile(xs, -5); v != 10 {
+		t.Errorf("Percentile(-5) = %v, want 10", v)
+	}
+	if v := Percentile(xs, 250); v != 30 {
+		t.Errorf("Percentile(250) = %v, want 30", v)
+	}
+	c := NewCDF(xs)
+	if v := c.Quantile(-0.1); v != 10 {
+		t.Errorf("Quantile(-0.1) = %v, want 10", v)
+	}
+	if v := c.Quantile(1.5); v != 30 {
+		t.Errorf("Quantile(1.5) = %v, want 30", v)
+	}
+	// Percentile(p) ≡ Quantile(p/100) on the same data.
+	for _, p := range []float64{0, 12.5, 50, 90, 100} {
+		if a, b := Percentile(xs, p), c.Quantile(p/100); a != b {
+			t.Errorf("Percentile(%v) = %v but Quantile(%v) = %v", p, a, p/100, b)
+		}
+	}
+}

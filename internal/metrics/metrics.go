@@ -13,6 +13,20 @@ import (
 	"strings"
 )
 
+// Degenerate-input contracts, shared by the summary helpers below and
+// relied on by experiment tables that may aggregate zero samples (e.g. a
+// fault sweep where every run of a cell failed):
+//
+//   - empty input is not an error: Mean, StdDev, Percentile and
+//     CDF.Quantile return 0; TimeWeightedMeanStd returns (0, 0). The 0 is
+//     a sentinel, not a statistic — callers that must distinguish "no
+//     data" check len or CDF.N first.
+//   - NaN never panics: a NaN sample propagates to NaN results (NaN
+//     samples sort below all other values, so they also surface at low
+//     percentiles); a NaN p/q/window bound yields NaN.
+//   - out-of-range ranks clamp: Percentile(p≤0)/Quantile(q≤0) is the
+//     minimum, Percentile(p≥100)/Quantile(q≥1) the maximum.
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -40,10 +54,14 @@ func StdDev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p ∈ [0,100]) using linear
-// interpolation on the sorted copy of xs.
+// interpolation on the sorted copy of xs. Empty input yields 0, NaN p
+// yields NaN, and p outside [0,100] clamps to the extremes.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -88,11 +106,15 @@ func (c *CDF) At(x float64) float64 {
 }
 
 // Quantile returns the q-th quantile (q ∈ [0,1]) using the same linear
-// interpolation as Percentile, so Quantile(p/100) ≡ Percentile(p).
+// interpolation as Percentile, so Quantile(p/100) ≡ Percentile(p) —
+// including the degenerate cases (empty → 0, NaN q → NaN, clamping).
 func (c *CDF) Quantile(q float64) float64 {
 	n := len(c.xs)
 	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q <= 0 {
 		return c.xs[0]
@@ -181,7 +203,9 @@ func ResampleStep(pts []StepPoint, start, end, width float64) []float64 {
 }
 
 // TimeWeightedMeanStd returns the time-weighted mean and standard
-// deviation of a step series over [start, end].
+// deviation of a step series over [start, end]. An empty series, an
+// inverted or zero-length window, or a window that does not overlap any
+// segment yields (0, 0); NaN window bounds or NaN values propagate NaN.
 func TimeWeightedMeanStd(pts []StepPoint, start, end float64) (mean, std float64) {
 	if end <= start || len(pts) == 0 {
 		return 0, 0

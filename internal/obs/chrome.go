@@ -22,8 +22,8 @@ import (
 //     partition that ran on the node gets a thread track with up to three
 //     slices — "S<id> read", "S<id> compute" (from data-ready to compute
 //     end, so prefetch wait time is included), "S<id> write" (ending at
-//     the stage's cluster-wide completion) — plus instant markers for
-//     task retries and the node's crash.
+//     that node's write completion) — plus instant markers for task
+//     retries and the node's crash.
 //
 // Timestamps are simulation seconds converted to trace microseconds.
 // Event accumulation and serialization are deterministic: a given run
@@ -58,6 +58,7 @@ type stageTrack struct {
 	prefetch    bool
 	readDone    []float64 // per node, -1 = not seen
 	computeDone []float64
+	writeDone   []float64
 }
 
 // chromeEvent is one trace-event JSON object. Field order is the fixed
@@ -156,6 +157,8 @@ func (c *ChromeTracer) OnEvent(ev sim.Event) {
 		setNode(&c.track(ev.Job, ev.Stage).readDone, ev.Node, ev.T)
 	case sim.EvComputeDone:
 		setNode(&c.track(ev.Job, ev.Stage).computeDone, ev.Node, ev.T)
+	case sim.EvWriteDone:
+		setNode(&c.track(ev.Job, ev.Stage).writeDone, ev.Node, ev.T)
 	case sim.EvStageCompleted:
 		c.flushStage(ev.Job, ev.Stage, ev.T)
 	case sim.EvTaskRetry:
@@ -212,9 +215,13 @@ func (c *ChromeTracer) flushStage(job int, stage dag.StageID, end float64) {
 			Ts: rd * usec, Dur: (cd - rd) * usec,
 			Pid: pid, Tid: tid, Cat: "compute", Args: args,
 		})
+		wd := end
+		if node < len(tr.writeDone) && tr.writeDone[node] >= 0 {
+			wd = tr.writeDone[node]
+		}
 		c.events = append(c.events, chromeEvent{
 			Name: fmt.Sprintf("S%d write", stage), Ph: "X",
-			Ts: cd * usec, Dur: (end - cd) * usec,
+			Ts: cd * usec, Dur: (wd - cd) * usec,
 			Pid: pid, Tid: tid, Cat: "write", Args: args,
 		})
 	}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzReadEvents checks the decoder's core contract on arbitrary input:
+// it never panics, and whenever it accepts a log, re-encoding the decoded
+// events yields a fixed point — encode(decode(x)) decodes again and
+// encodes to the same bytes. (Raw input is not required to be byte-equal
+// to its re-encoding: hand-written JSON may use different field order or
+// float spelling; encoder output is, per the golden round-trip test.)
+func FuzzReadEvents(f *testing.F) {
+	if raw, err := os.ReadFile("testdata/events.golden.jsonl"); err == nil {
+		f.Add(raw)
+		// Individual golden lines exercise single-event paths.
+		for _, line := range bytes.SplitAfter(raw, []byte{'\n'}) {
+			if len(line) > 0 {
+				f.Add(line)
+			}
+		}
+	}
+	f.Add([]byte(`{"t":1,"kind":"job_done","job":0}` + "\n"))
+	f.Add([]byte(`{"t":0.25,"kind":"task_retry","job":1,"stage":3,"node":2,"attempt":2,"delay":4}` + "\n"))
+	f.Add([]byte(`{"t":3,"kind":"job_failed","job":0,"detail":"boom \"quoted\" "}` + "\n"))
+	f.Add([]byte(`{"t":9,"kind":"stage_submitted","run":2,"job":0,"stage":1,"prefetch":true}` + "\n"))
+	f.Add([]byte("not json\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var once bytes.Buffer
+		if err := WriteEvents(&once, evs); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		evs2, err := ReadEvents(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("encoder output did not decode: %v\n%s", err, once.Bytes())
+		}
+		var twice bytes.Buffer
+		if err := WriteEvents(&twice, evs2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("encode∘decode is not a fixed point:\nfirst:  %s\nsecond: %s",
+				once.Bytes(), twice.Bytes())
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"reflect"
 	"strconv"
+	"unicode/utf8"
 
 	"delaystage/internal/sim"
 )
@@ -89,11 +90,43 @@ func (l *JSONL) OnEvent(ev sim.Event) {
 	}
 	if ev.Detail != "" {
 		b = append(b, `,"detail":`...)
-		b = strconv.AppendQuote(b, ev.Detail)
+		b = appendJSONString(b, ev.Detail)
 	}
 	b = append(b, '}', '\n')
 	l.buf = b
 	l.bw.Write(b)
+}
+
+// appendJSONString appends s as a JSON string literal. Unlike
+// strconv.AppendQuote (whose \x escapes are not valid JSON), the escaping
+// here is strict JSON: quote, backslash and control characters are
+// escaped, valid UTF-8 passes through verbatim, and invalid bytes become
+// U+FFFD — so every emitted line parses with encoding/json and
+// ReadEvents→WriteEvents round-trips encoder output byte-for-byte.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			b = append(b, '\\', '"')
+		case r == '\\':
+			b = append(b, '\\', '\\')
+		case r == '\n':
+			b = append(b, '\\', 'n')
+		case r == '\r':
+			b = append(b, '\\', 'r')
+		case r == '\t':
+			b = append(b, '\\', 't')
+		case r < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[r>>4], hex[r&0xf])
+		default:
+			// Ranging over a string yields U+FFFD for invalid bytes, so
+			// appending the rune re-encodes them as valid UTF-8.
+			b = utf8.AppendRune(b, r)
+		}
+	}
+	return append(b, '"')
 }
 
 // Flush drains the internal buffer to the underlying writer.
@@ -108,10 +141,25 @@ func (m multi) OnEvent(ev sim.Event) {
 	}
 }
 
+// multiShare is a fan-out that also forwards resource-share snapshots to
+// the members that want them, preserving the ShareObserver extension
+// through composition (the engine type-asserts Options.Observer once).
+type multiShare struct {
+	multi
+	shares []sim.ShareObserver
+}
+
+func (m multiShare) OnShares(t, dt float64, samples []sim.ShareSample) {
+	for _, o := range m.shares {
+		o.OnShares(t, dt, samples)
+	}
+}
+
 // Multi composes observers: nil for none, the observer itself for one, a
 // fan-out for more. Nil entries are dropped — including typed nils like a
 // `var t *ChromeTracer` that was never constructed, so call sites can pass
-// optional exporters unconditionally.
+// optional exporters unconditionally. If any composed observer implements
+// sim.ShareObserver, the fan-out does too.
 func Multi(os ...sim.Observer) sim.Observer {
 	var live []sim.Observer
 	for _, o := range os {
@@ -128,6 +176,15 @@ func Multi(os ...sim.Observer) sim.Observer {
 		return nil
 	case 1:
 		return live[0]
+	}
+	var shares []sim.ShareObserver
+	for _, o := range live {
+		if so, ok := o.(sim.ShareObserver); ok {
+			shares = append(shares, so)
+		}
+	}
+	if len(shares) > 0 {
+		return multiShare{multi: multi(live), shares: shares}
 	}
 	return multi(live)
 }

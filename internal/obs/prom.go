@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a minimal, dependency-free metric registry rendering the
+// Prometheus text exposition format (version 0.0.4). It supports exactly
+// what the introspection endpoints need — counters, gauges and
+// fixed-bucket histograms, each optionally carrying a pre-rendered label
+// suffix — and renders deterministically: families sorted by name, series
+// sorted by label string, floats in shortest round-trip form.
+//
+// All methods are safe for concurrent use; experiment workers update
+// metrics while an HTTP scrape renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]metric // label suffix ("" for none) → metric
+}
+
+// metric is the value cell behind a handle. Handles hold the registry
+// lock while mutating, so the cells themselves need no atomics.
+type metric interface {
+	write(w io.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: map[string]metric{}}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	r *Registry
+	v float64
+}
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatProm(c.v))
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (which must be ≥ 0 to keep the counter monotonic).
+func (c *Counter) Add(d float64) {
+	c.r.mu.Lock()
+	c.v += d
+	c.r.mu.Unlock()
+}
+
+// Counter registers (or returns the existing) counter series. labels is
+// either empty or a pre-rendered Prometheus label set including braces,
+// e.g. `{strategy="spark"}`.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	if m, ok := f.series[labels]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{r: r}
+	f.series[labels] = c
+	return c
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	r *Registry
+	v float64
+}
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatProm(g.v))
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.r.mu.Lock()
+	g.v = v
+	g.r.mu.Unlock()
+}
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	g.r.mu.Lock()
+	g.v += d
+	g.r.mu.Unlock()
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	if m, ok := f.series[labels]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{r: r}
+	f.series[labels] = g
+	return g
+}
+
+// Histogram accumulates observations into fixed cumulative buckets.
+type Histogram struct {
+	r       *Registry
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	counts  []uint64  // per bound, non-cumulative
+	inf     uint64
+	sum     float64
+	samples uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.r.mu.Lock()
+	h.sum += v
+	h.samples++
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx]++
+	} else {
+		h.inf++
+	}
+	h.r.mu.Unlock()
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	// Bucket series need "le" merged into any existing label set.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", name, open, formatProm(b), cum)
+	}
+	cum += h.inf
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatProm(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.samples)
+}
+
+// Histogram registers (or returns the existing) histogram series with the
+// given upper bucket bounds (sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	if m, ok := f.series[labels]; ok {
+		return m.(*Histogram)
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{r: r, bounds: bs, counts: make([]uint64, len(bs))}
+	f.series[labels] = h
+	return h
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by factor —
+// the usual histogram bucket ladder for durations.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	bs := make([]float64, n)
+	v := start
+	for i := range bs {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}
+
+// formatProm renders a float the way the Prometheus text format expects.
+func formatProm(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format, deterministically ordered.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, f.help, n, f.typ); err != nil {
+			return err
+		}
+		labels := make([]string, 0, len(f.series))
+		for l := range f.series {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			f.series[l].write(w, n, l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Live introspection: a tiny HTTP server any long-running command can
+// hang off a -serve flag. Endpoints:
+//
+//	/metrics       Prometheus text exposition of a Registry
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard runtime profiles (CPU, heap, goroutine…)
+//
+// The server shares the process with the simulation but touches it only
+// through Registry values, so serving never perturbs a run.
+
+// NewIntrospectionMux builds the endpoint mux for reg. It is exported
+// separately from Serve so tests can drive it with httptest.
+func NewIntrospectionMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// An isolated mux gets no profiles for free; wire the standard ones.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	// Addr is the bound address, with the real port when ":0" was asked.
+	Addr string
+	srv  *http.Server
+}
+
+// Serve binds addr (e.g. ":9090", "localhost:0") and serves reg's
+// introspection endpoints in a background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: introspection listen: %w", err)
+	}
+	srv := &http.Server{Handler: NewIntrospectionMux(reg)}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total", `{strategy="spark"}`, "runs completed").Add(3)
+	reg.Counter("runs_total", `{strategy="delaystage"}`, "runs completed").Inc()
+	reg.Gauge("cells_remaining", "", "experiment cells not yet run").Set(17)
+	h := reg.Histogram("makespan_seconds", "", "makespan distribution", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP cells_remaining experiment cells not yet run
+# TYPE cells_remaining gauge
+cells_remaining 17
+# HELP makespan_seconds makespan distribution
+# TYPE makespan_seconds histogram
+makespan_seconds_bucket{le="10"} 1
+makespan_seconds_bucket{le="100"} 2
+makespan_seconds_bucket{le="+Inf"} 3
+makespan_seconds_sum 555
+makespan_seconds_count 3
+# HELP runs_total runs completed
+# TYPE runs_total counter
+runs_total{strategy="delaystage"} 1
+runs_total{strategy="spark"} 3
+`
+	if got != want {
+		t.Errorf("exposition drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Same registry, second render: identical (determinism).
+	var sb2 strings.Builder
+	reg.WriteText(&sb2)
+	if sb2.String() != got {
+		t.Error("second render differs from first")
+	}
+}
+
+func TestRegistryHistogramLabels(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("d_seconds", `{strategy="spark"}`, "d", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	for _, line := range []string{
+		`d_seconds_bucket{strategy="spark",le="1"} 1`,
+		`d_seconds_bucket{strategy="spark",le="+Inf"} 2`,
+		`d_seconds_sum{strategy="spark"} 2.5`,
+		`d_seconds_count{strategy="spark"} 2`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, sb.String())
+		}
+	}
+}
+
+func TestRegistryHandleReuse(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "", "x")
+	b := reg.Counter("x_total", "", "x")
+	if a != b {
+		t.Error("same series returned distinct handles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a name with a different type did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "", "x")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(10, 2, 4)
+	want := []float64{10, 20, 40, 80}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntrospectionMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("answer", "", "the answer").Set(42)
+	ts := httptest.NewServer(NewIntrospectionMux(reg))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "answer 42\n") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (len %d)", code, len(body))
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -257,6 +257,12 @@ type engine struct {
 	failed     []bool // per-job abort flag
 	recomps    map[recompKey]*recompState
 
+	// shareObs is Options.Observer when it also implements ShareObserver
+	// (resolved once at construction); nil otherwise. shareScr is the
+	// reused sample scratch handed to OnShares.
+	shareObs ShareObserver
+	shareScr []ShareSample
+
 	// Scratch buffers reused across events (the engine is single-threaded;
 	// each is live only within one helper call).
 	itemPool         []*item
@@ -319,6 +325,9 @@ func newEngine(opt Options, runs []JobRun) *engine {
 	e.stageRateScratch = make(map[skey]float64)
 	e.stateList = make([]*stageState, 0, totalStages)
 	e.items = make([]*item, 0, totalStages*e.nNodes)
+	if so, ok := opt.Observer.(ShareObserver); ok {
+		e.shareObs = so
+	}
 	return e
 }
 
@@ -577,6 +586,9 @@ func (e *engine) finishCompute(st *stageState, node int) {
 }
 
 func (e *engine) finishWrite(st *stageState, node int) {
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvWriteDone, Job: st.key.job, Stage: st.key.stage, Node: node})
+	}
 	st.writesLeft--
 	if st.writesLeft > 0 {
 		return
@@ -972,10 +984,45 @@ func (e *engine) nextDT() float64 {
 	return dt
 }
 
+// emitShares publishes one ShareSample per live item for the interval
+// [e.now, e.now+dt) on which rates are constant. Only called when the
+// observer implements ShareObserver; the scratch slice is reused across
+// intervals so the steady state stays allocation-free.
+func (e *engine) emitShares(dt float64) {
+	s := e.shareScr[:0]
+	for _, it := range e.items {
+		var res Resource
+		var iso float64
+		switch it.ph {
+		case phRead:
+			res, iso = ResNet, e.netBW[it.node]
+		case phCompute:
+			res = ResCPU
+			ex := e.execs[it.node]
+			if tpn := it.st.profile.tasksPerNode; tpn > 0 && ex > tpn {
+				ex = tpn
+			}
+			iso = ex * it.st.profile.procRate
+			if it.slow > 1 {
+				iso /= it.slow
+			}
+		case phWrite:
+			res, iso = ResDisk, e.diskBW[it.node]
+		}
+		s = append(s, ShareSample{Job: it.key.job, Stage: it.key.stage,
+			Node: it.node, Res: res, Rate: it.rate, IsoRate: iso})
+	}
+	e.shareScr = s
+	e.shareObs.OnShares(e.now, dt, s)
+}
+
 // advance progresses every item by dt and accumulates usage integrals.
 func (e *engine) advance(dt float64) {
 	if dt <= 0 {
 		return
+	}
+	if e.shareObs != nil {
+		e.emitShares(dt)
 	}
 	e.recordUsage(dt)
 	for _, it := range e.items {

@@ -31,6 +31,9 @@ const (
 	// EvComputeDone fires per node when that node's compute partition
 	// finishes; the last node's event coincides with Timeline.ComputeEnd.
 	EvComputeDone
+	// EvWriteDone fires per node when that node's shuffle-write partition
+	// finishes; the last node's event coincides with Timeline.End.
+	EvWriteDone
 	// EvStageCompleted fires when the shuffle write has finished on every
 	// node (Timeline.End).
 	EvStageCompleted
@@ -62,6 +65,8 @@ func (k EventKind) String() string {
 		return "read_done"
 	case EvComputeDone:
 		return "compute_done"
+	case EvWriteDone:
+		return "write_done"
 	case EvStageCompleted:
 		return "stage_completed"
 	case EvTaskRetry:
@@ -93,7 +98,7 @@ type Event struct {
 	// Stage is the stage ID, or -1 for job- and cluster-level events.
 	Stage dag.StageID
 	// Node is the node index for per-node events (EvReadDone,
-	// EvComputeDone, EvTaskRetry, EvNodeCrash), -1 otherwise.
+	// EvComputeDone, EvWriteDone, EvTaskRetry, EvNodeCrash), -1 otherwise.
 	Node int
 	// Attempt is the 1-based attempt that failed (EvTaskRetry only).
 	Attempt int
@@ -111,4 +116,53 @@ type Event struct {
 // back into the simulation.
 type Observer interface {
 	OnEvent(Event)
+}
+
+// Resource identifies one of the three contended cluster resources a work
+// item can occupy: the NIC during shuffle read, the executors during
+// compute, the local disk during shuffle write.
+type Resource uint8
+
+const (
+	ResNet Resource = iota
+	ResCPU
+	ResDisk
+)
+
+// String returns the stable name used in reports and metric labels.
+func (r Resource) String() string {
+	switch r {
+	case ResNet:
+		return "net"
+	case ResCPU:
+		return "cpu"
+	case ResDisk:
+		return "disk"
+	}
+	return "unknown"
+}
+
+// ShareSample is one work item's resource share during a constant-rate
+// interval: the rate the fluid sharing actually allocated, and the rate
+// the item would sustain if it ran alone on the resource (capacity for
+// read/write, capped executor share times processing rate for compute —
+// straggler slowdowns are intrinsic to the item and stay in IsoRate).
+type ShareSample struct {
+	Job     int
+	Stage   dag.StageID
+	Node    int
+	Res     Resource
+	Rate    float64 // allocated bytes/s over this interval
+	IsoRate float64 // bytes/s the item would get alone on the resource
+}
+
+// ShareObserver is an optional extension of Observer: when the value in
+// Options.Observer also implements it, the engine calls OnShares once per
+// simulation interval (rates are constant within one) before advancing
+// time. t is the interval start, dt its length; samples is a scratch
+// slice valid only for the duration of the call and must not be retained.
+// Like Observer, implementations must not call back into the simulation;
+// a nil or non-ShareObserver observer costs the engine nothing.
+type ShareObserver interface {
+	OnShares(t, dt float64, samples []ShareSample)
 }

@@ -42,9 +42,9 @@ func FuzzParse(f *testing.F) {
 	f.Add(sampleCSV)
 	f.Add("R2_9,1,j,b,T,0,10,1,1\nM1,2,j,b,T,x,y,1,1\n")
 	f.Add(",,,,,,,\n")
-	f.Add("M3_1_x,1,j,b,T,0,10,1,1\n")    // malformed dependency token
-	f.Add("R2_2_1,1,j,b,T,0,10,1,1\n")    // self-dependency
-	f.Add("M1,1,short\nM2,1,j,b,T,5,9,1,1\n") // truncated row
+	f.Add("M3_1_x,1,j,b,T,0,10,1,1\n")             // malformed dependency token
+	f.Add("R2_2_1,1,j,b,T,0,10,1,1\n")             // self-dependency
+	f.Add("M1,1,short\nM2,1,j,b,T,5,9,1,1\n")      // truncated row
 	f.Add(",1,j,b,T,0,5,1,1\nM5,1,,b,T,0,5,1,1\n") // empty names
 	f.Fuzz(func(t *testing.T, src string) {
 		tr, err := Parse(strings.NewReader(src))
