@@ -1,0 +1,115 @@
+// Command benchgate compares a freshly generated BENCH_sim.json against a
+// committed baseline and fails on performance regressions. The bench suite's
+// TestMain writes per-benchmark wall-clock seconds to BENCH_sim.json after a
+// `go test -bench` run; CI's bench-smoke job saves the committed file before
+// the run and gates the fresh one against it.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.json -fresh BENCH_sim.json
+//	benchgate -tolerance 0.20 -min-seconds 0.05 ...
+//
+// A benchmark fails the gate when fresh > baseline × (1 + tolerance).
+// Benchmarks below -min-seconds in the baseline are reported but never
+// gated: at sub-50ms scale the runner's scheduling jitter dwarfs any real
+// regression. A benchmark present in the baseline but absent from the fresh
+// file fails the gate too — a silently vanished bench is not a speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Parallelism  int          `json:"parallelism"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Benches      []benchEntry `json:"benches"`
+}
+
+type benchEntry struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+func load(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benches) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &f, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", "bench_baseline.json", "committed baseline BENCH_sim.json")
+	freshPath := flag.String("fresh", "BENCH_sim.json", "freshly generated BENCH_sim.json")
+	tol := flag.Float64("tolerance", 0.20, "allowed relative slowdown before the gate fails")
+	minSec := flag.Float64("min-seconds", 0.05, "baseline seconds below which a benchmark is too noisy to gate")
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	got := make(map[string]float64, len(fresh.Benches))
+	for _, b := range fresh.Benches {
+		got[b.Name] = b.Seconds
+	}
+	known := make(map[string]bool, len(base.Benches))
+	for _, b := range base.Benches {
+		known[b.Name] = true
+	}
+
+	var failures []string
+	fmt.Printf("%-36s %12s %12s %9s\n", "benchmark", "baseline (s)", "fresh (s)", "delta")
+	for _, b := range base.Benches {
+		cur, ok := got[b.Name]
+		if !ok {
+			fmt.Printf("%-36s %12.3f %12s %9s\n", b.Name, b.Seconds, "missing", "FAIL")
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from fresh run", b.Name))
+			continue
+		}
+		delta := (cur - b.Seconds) / b.Seconds
+		verdict := ""
+		switch {
+		case b.Seconds < *minSec:
+			verdict = "(ungated)"
+		case delta > *tol:
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.3fs -> %.3fs (%+.1f%% > +%.0f%%)",
+				b.Name, b.Seconds, cur, 100*delta, 100**tol))
+		}
+		fmt.Printf("%-36s %12.3f %12.3f %+8.1f%% %s\n", b.Name, b.Seconds, cur, 100*delta, verdict)
+	}
+	for _, b := range fresh.Benches {
+		if !known[b.Name] {
+			fmt.Printf("%-36s %12s %12.3f\n", b.Name, "(new)", b.Seconds)
+		}
+	}
+	fmt.Printf("total: baseline %.3fs, fresh %.3fs\n", base.TotalSeconds, fresh.TotalSeconds)
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s) beyond +%.0f%%:\n", len(failures), 100**tol)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		fmt.Fprintln(os.Stderr, "If the slowdown is intended, regenerate the baseline with\n  go test -run=XXX -bench=Fig -benchtime=1x .\nand commit the updated BENCH_sim.json.")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}

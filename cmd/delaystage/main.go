@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	delaystage [-workload LDA] [-nodes 30] [-scale 1.0] [-order descending|ascending|random] [-profile]
+//	delaystage [-workload LDA] [-nodes 30] [-scale 1.0] [-order descending|ascending|random] [-profile] [-no-eval-cache]
 //	delaystage -spec job.json [-dot schedule.dot]
 //	delaystage -eventlog app.log
 package main
@@ -34,6 +34,7 @@ func main() {
 	orderName := flag.String("order", "descending", "execution-path order: descending | ascending | random")
 	seed := flag.Int64("seed", 1, "seed for the random order / profiling noise")
 	profile := flag.Bool("profile", false, "plan on profiled (noisy) parameters, as the prototype does")
+	noCache := flag.Bool("no-eval-cache", false, "disable the what-if memo cache and snapshot forking (every candidate simulated from scratch; the schedule is identical either way)")
 	specPath := flag.String("spec", "", "JSON job spec (overrides -workload)")
 	logPath := flag.String("eventlog", "", "Spark event log to derive the job from (overrides -workload)")
 	dotPath := flag.String("dot", "", "write the schedule-annotated DAG as Graphviz DOT to this file")
@@ -98,7 +99,7 @@ func main() {
 		fmt.Printf("profiled on a 10%% sample in %.1f simulated seconds\n", prof.ProfilingTime)
 	}
 
-	sched, err := core.Compute(core.Options{Cluster: c, Order: order, Seed: *seed}, planJob)
+	sched, err := core.Compute(core.Options{Cluster: c, Order: order, Seed: *seed, DisableEvalCache: *noCache}, planJob)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,7 +123,11 @@ func main() {
 		fmt.Printf("  stage %-3d +%.1fs\n", id, sched.Delays[dag.StageID(id)])
 	}
 	fmt.Printf("predicted parallel-region makespan: %.1fs (stock %.1fs)\n", sched.Makespan, sched.StockMakespan)
-	fmt.Printf("Alg. 1 compute time: %v over %d evaluations\n\n", sched.ComputeTime, sched.Evaluations)
+	fmt.Printf("Alg. 1 compute time: %v over %d evaluations", sched.ComputeTime, sched.Evaluations)
+	if sched.CacheHits+sched.ForkedEvals+sched.FullEvals > 0 {
+		fmt.Printf(" (%d cache hits, %d forked, %d full runs)", sched.CacheHits, sched.ForkedEvals, sched.FullEvals)
+	}
+	fmt.Printf("\n\n")
 
 	stock, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1}, []sim.JobRun{{Job: job}})
 	if err != nil {

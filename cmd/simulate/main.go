@@ -10,6 +10,7 @@
 //	simulate -crash-node 1 -crash-at 120 -fault-seed 7 -max-retries 4
 //	simulate -events run.jsonl -chrometrace trace.json -json summary.json
 //	simulate -report                      # append the attribution report
+//	simulate -checkpoint 40               # snapshot/fork round-trip check
 //	simulate -serve 127.0.0.1:9090 -linger 30s   # live /metrics, /healthz, pprof
 package main
 
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"time"
 
 	"delaystage/internal/attr"
@@ -53,6 +55,7 @@ func main() {
 	report := flag.Bool("report", false, "append the attribution report (time decomposition, contention matrix, critical path); cmd/analyze reproduces it byte-identically from a -events log")
 	serveAddr := flag.String("serve", "", "serve live introspection (/metrics, /healthz, /debug/pprof) on this address while the run executes")
 	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the run finishes (for scraping short runs)")
+	checkpoint := flag.Float64("checkpoint", -1, "demonstrate checkpoint/fork: snapshot the run just before this simulated time, resume the copy, and verify it is bit-identical to the uninterrupted run (-1 = off)")
 	flag.Parse()
 
 	c := cluster.NewM4LargeCluster(*nodes)
@@ -159,9 +162,36 @@ func main() {
 	opt := sim.Options{Cluster: c, TrackNode: 0, TrackCluster: tracer != nil,
 		AggShuffle: p.AggShuffle, Faults: inj, MaxAttempts: *maxRetries,
 		Watchdog: p.Watchdog, Observer: obs.Multi(jsonl, tracer, collector, live)}
-	res, err := sim.Run(opt, []sim.JobRun{{Job: job, Delays: p.Delays}})
+	runs := []sim.JobRun{{Job: job, Delays: p.Delays}}
+	res, err := sim.Run(opt, runs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *checkpoint >= 0 {
+		// Snapshots reject observers and watchdogs (their external state
+		// cannot be forked), so the round-trip check runs bare options; the
+		// reference is the main result when it too ran bare.
+		bare := opt
+		bare.Watchdog, bare.Observer = nil, nil
+		ref := res
+		if opt.Watchdog != nil || opt.Observer != nil {
+			if ref, err = sim.Run(bare, runs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		snap, err := sim.SnapshotAt(bare, runs, *checkpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := snap.Resume(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			log.Fatalf("checkpoint at t=%.3gs: resumed run differs from the uninterrupted run", *checkpoint)
+		}
+		fmt.Printf("checkpoint at t=%.4gs (frozen at event boundary t=%.4gs): resumed run bit-identical over %d events\n",
+			*checkpoint, snap.Clock(), got.Events)
 	}
 	// Emit the artifacts before deciding success: a failed run's event log
 	// and trace are exactly what one wants for the post-mortem.

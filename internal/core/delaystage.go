@@ -86,6 +86,13 @@ type Options struct {
 	// schedule is bit-identical to the sequential scan at any setting.
 	// Zero or one means sequential.
 	Parallelism int
+	// DisableEvalCache turns off the sim evaluator's what-if memo cache
+	// and snapshot forking: every candidate is answered by a from-scratch
+	// simulation, as Alg. 1 is written. Schedules are identical either way
+	// (the cache is exact and forked runs are bit-identical); the switch
+	// exists for benchmarking the speedup and as a safety valve. Ignored
+	// under UseModelEvaluator.
+	DisableEvalCache bool
 }
 
 // Schedule is Alg. 1's output.
@@ -106,6 +113,14 @@ type Schedule struct {
 	ComputeTime time.Duration
 	// Evaluations counts candidate makespan evaluations performed.
 	Evaluations int
+	// CacheHits, ForkedEvals and FullEvals break Evaluations down by how
+	// the sim evaluator answered them: from the what-if memo cache, by
+	// forking a scan snapshot (prefix shared, only the suffix simulated),
+	// or by a from-scratch simulation. All zero under UseModelEvaluator
+	// (the closed-form model neither caches nor forks).
+	CacheHits   int
+	ForkedEvals int
+	FullEvals   int
 	// BudgetExceeded reports that Options.Budget ran out and Delays is
 	// the all-zero fallback.
 	BudgetExceeded bool
@@ -126,6 +141,22 @@ type Evaluator interface {
 	// calls on distinct clones are safe. Clones are scan-scoped: SetActive
 	// must not be called on the parent while clones are evaluating.
 	Clone() Evaluator
+}
+
+// scanAware is the optional fork protocol between e2scan and an evaluator:
+// between BeginScan(k) and EndScan, every Makespan call varies only stage
+// k's delay, so the evaluator may checkpoint the simulation just before
+// k's ready time once and fork it per candidate (clones share the scan
+// state through their parent).
+type scanAware interface {
+	BeginScan(kid dag.StageID)
+	EndScan()
+}
+
+// evalStatser is implemented by evaluators that count how their what-if
+// evaluations were answered.
+type evalStatser interface {
+	evalStats() EvalStats
 }
 
 // Compute runs Alg. 1 on the job and returns the delay schedule X.
@@ -191,7 +222,13 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 	if opt.UseModelEvaluator {
 		ev = newModelEvaluator(model, job, reach, k, solo)
 	} else {
-		ev = newSimEvaluator(opt.Cluster, job, k)
+		ev = newSimEvaluator(opt.Cluster, job, k, opt.DisableEvalCache)
+	}
+	captureStats := func() {
+		if sp, ok := ev.(evalStatser); ok {
+			st := sp.evalStats()
+			sched.CacheHits, sched.ForkedEvals, sched.FullEvals = st.CacheHits, st.ForkedRuns, st.FullRuns
+		}
 	}
 
 	// Initial makespan estimate with no delays: Tmax (line 3).
@@ -218,6 +255,7 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 		sched.Delays = map[dag.StageID]float64{}
 		sched.Makespan = tmax
 		sched.BudgetExceeded = true
+		captureStats()
 		sched.ComputeTime = time.Since(start)
 		return sched, nil
 	}
@@ -296,6 +334,7 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 		best = tmax
 	}
 	sched.Makespan = best
+	captureStats()
 	sched.ComputeTime = time.Since(start)
 	return sched, nil
 }
@@ -312,6 +351,12 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 	kid dag.StageID, tmax float64, opt Options, globalBest *float64, deadline time.Time) error {
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return errBudget
+	}
+	// Every evaluation until the scan ends varies only kid's delay: let a
+	// fork-capable evaluator share the simulation prefix across candidates.
+	if sa, ok := ev.(scanAware); ok {
+		sa.BeginScan(kid)
+		defer sa.EndScan()
 	}
 	incumbent, had := sched.Delays[kid]
 	if !had {

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
 	"sort"
+	"strconv"
+	"sync"
 
 	"delaystage/internal/cluster"
 	"delaystage/internal/dag"
@@ -42,74 +45,365 @@ func restrictJob(job *workload.Job, active map[dag.StageID]bool) (*workload.Job,
 	return sub, nil
 }
 
+// coarseFor memoizes sim.Coarsen per cluster: replan loops and experiment
+// sweeps build many evaluators against the same (immutable) cluster, and
+// the coarse view never changes. Bounded so a long-lived process creating
+// clusters forever does not leak — coarsening is cheap to redo.
+var (
+	coarseMu    sync.Mutex
+	coarseCache = map[*cluster.Cluster]*cluster.Cluster{}
+)
+
+func coarseFor(c *cluster.Cluster) *cluster.Cluster {
+	coarseMu.Lock()
+	defer coarseMu.Unlock()
+	if cc, ok := coarseCache[c]; ok {
+		return cc
+	}
+	if len(coarseCache) >= 256 {
+		clear(coarseCache)
+	}
+	cc := sim.Coarsen(c)
+	coarseCache[c] = cc
+	return cc
+}
+
+// EvalStats breaks the what-if evaluations of one Compute run down by how
+// they were answered.
+type EvalStats struct {
+	// CacheHits counts configurations answered from the memo cache —
+	// refine passes and replans re-query many configurations verbatim.
+	CacheHits int
+	// ForkedRuns counts simulations resumed from a scan snapshot: the
+	// prefix up to the scanned stage's ready time was shared, only the
+	// suffix ran.
+	ForkedRuns int
+	// FullRuns counts complete from-scratch simulations.
+	FullRuns int
+}
+
+// evalShared is the state one simEvaluator shares with all its clones: the
+// memo cache of evaluated configurations, the restricted-job cache, the
+// work counters (behind mu), and the armed scan snapshot (behind scanMu,
+// so a snapshot build never blocks concurrent memo hits).
+type evalShared struct {
+	disable bool
+
+	mu      sync.Mutex
+	memo    map[string]float64
+	subJobs map[string]*workload.Job
+	stats   EvalStats
+
+	scanMu sync.Mutex
+	scan   scanState
+}
+
+// scanState is the fork context of the current candidate scan — one
+// stage's delay being swept, everything else fixed: the scanned stage, its
+// ready time as measured by the scan's first full run (the stage's own
+// delay cannot move it: a delay is only read *at* readiness), and the
+// snapshot frozen just before that time, which later candidates fork.
+type scanState struct {
+	on   bool
+	kid  dag.StageID
+	trOK bool
+	tr   float64
+	snap *sim.Snapshot
+}
+
+// delayPair is one (stage, exact delay bits) term of a fingerprint.
+type delayPair struct {
+	id   dag.StageID
+	bits uint64
+}
+
 // simEvaluator answers Alg. 1's "what happens if stage k is delayed by x̂"
 // question by running the coarse fluid simulator on the active sub-job —
 // the faithful interpretation of lines 12–14 (stage time under the
 // resulting parallelism, completion-time updates of subsequent and
 // interfering stages).
+//
+// Three layers keep repeated questions cheap (see DESIGN.md, "What-if
+// evaluation"): an exact memo cache over (active set, delay vector)
+// fingerprints, snapshot forking during candidate scans (all candidates of
+// one stage share the simulation prefix up to that stage's ready time),
+// and a restricted-job cache per active set. The simulator is
+// deterministic, memo keys are collision-free, and forked runs are
+// bit-identical to from-scratch runs, so schedules are byte-identical with
+// every layer on or off.
 type simEvaluator struct {
-	coarse *cluster.Cluster
-	job    *workload.Job
-	cur    *workload.Job // restricted to the active set
-	inK    map[dag.StageID]bool
+	coarse    *cluster.Cluster
+	job       *workload.Job
+	cur       *workload.Job // restricted to the active set
+	inK       map[dag.StageID]bool
+	shared    *evalShared
+	activeKey string // canonical key of the active set ("*" = all)
+
+	// Per-clone scratch, reset by Clone.
+	keyScratch    []byte
+	pairScratch   []delayPair
+	filterScratch map[dag.StageID]float64
 }
 
-func newSimEvaluator(c *cluster.Cluster, job *workload.Job, k []dag.StageID) *simEvaluator {
+func newSimEvaluator(c *cluster.Cluster, job *workload.Job, k []dag.StageID, disableCache bool) *simEvaluator {
 	inK := make(map[dag.StageID]bool, len(k))
 	for _, id := range k {
 		inK[id] = true
 	}
-	return &simEvaluator{coarse: sim.Coarsen(c), job: job, cur: job, inK: inK}
+	return &simEvaluator{
+		coarse: coarseFor(c), job: job, cur: job, inK: inK, activeKey: "*",
+		shared: &evalShared{
+			disable: disableCache,
+			memo:    map[string]float64{},
+			subJobs: map[string]*workload.Job{},
+		},
+	}
 }
 
-// Clone returns a concurrency-safe copy: every field is read-only during
-// Makespan (each call runs a fresh engine on a private delay map), so a
-// shallow copy suffices.
+// Clone returns a concurrency-safe copy: immutable inputs and the shared
+// cache state are carried over, the per-clone scratch buffers are not.
 func (e *simEvaluator) Clone() Evaluator {
 	c := *e
+	c.keyScratch, c.pairScratch, c.filterScratch = nil, nil, nil
 	return &c
 }
 
-func (e *simEvaluator) SetActive(active map[dag.StageID]bool) error {
-	sub, err := restrictJob(e.job, active)
-	if err != nil {
-		return err
+// activeKeyOf canonically encodes an active set ("*" = unrestricted).
+func activeKeyOf(active map[dag.StageID]bool) string {
+	if active == nil {
+		return "*"
 	}
-	e.cur = sub
+	ids := make([]dag.StageID, 0, len(active))
+	for id, on := range active {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b []byte
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(id), 10)
+	}
+	return string(b)
+}
+
+func (e *simEvaluator) SetActive(active map[dag.StageID]bool) error {
+	key := activeKeyOf(active)
+	if key == e.activeKey {
+		return nil
+	}
+	sh := e.shared
+	sh.mu.Lock()
+	sub, ok := sh.subJobs[key]
+	sh.mu.Unlock()
+	if !ok {
+		var err error
+		sub, err = restrictJob(e.job, active)
+		if err != nil {
+			return err
+		}
+		sh.mu.Lock()
+		sh.subJobs[key] = sub
+		sh.mu.Unlock()
+	}
+	e.cur, e.activeKey = sub, key
 	return nil
 }
 
-func (e *simEvaluator) Makespan(delays map[dag.StageID]float64) (float64, error) {
-	// Delays for stages outside the active sub-job are ignored by the sim
-	// via filtering here.
-	var d map[dag.StageID]float64
-	if len(delays) > 0 {
-		d = make(map[dag.StageID]float64, len(delays))
-		for id, v := range delays {
-			if e.cur.Graph.Stage(id) != nil {
-				d[id] = v
-			}
+// BeginScan implements scanAware: arm the fork context for a candidate
+// scan of stage kid. Between BeginScan and EndScan every Makespan call
+// varies only kid's delay.
+func (e *simEvaluator) BeginScan(kid dag.StageID) {
+	if e.shared.disable {
+		return
+	}
+	e.shared.scanMu.Lock()
+	e.shared.scan = scanState{on: true, kid: kid}
+	e.shared.scanMu.Unlock()
+}
+
+// EndScan implements scanAware: drop the scan snapshot.
+func (e *simEvaluator) EndScan() {
+	if e.shared.disable {
+		return
+	}
+	e.shared.scanMu.Lock()
+	e.shared.scan = scanState{}
+	e.shared.scanMu.Unlock()
+}
+
+// evalStats returns the shared work counters.
+func (e *simEvaluator) evalStats() EvalStats {
+	e.shared.mu.Lock()
+	defer e.shared.mu.Unlock()
+	return e.shared.stats
+}
+
+// fingerprint canonically encodes (active set, effective delay vector):
+// the active-set key plus sorted (stage, exact float bits) pairs of every
+// non-zero delay that applies to the active sub-job. Exact — distinct
+// configurations can never collide — and zero entries drop out, so "no
+// entry" and "explicit 0" (the same simulation) share one slot.
+func (e *simEvaluator) fingerprint(delays map[dag.StageID]float64) string {
+	pairs := e.pairScratch[:0]
+	for id, v := range delays {
+		if v != 0 && e.cur.Graph.Stage(id) != nil {
+			pairs = append(pairs, delayPair{id: id, bits: math.Float64bits(v)})
 		}
 	}
-	res, err := sim.Run(sim.Options{Cluster: e.coarse, TrackNode: -1},
-		[]sim.JobRun{{Job: e.cur, Delays: d}})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	e.pairScratch = pairs
+	key := append(e.keyScratch[:0], e.activeKey...)
+	for _, p := range pairs {
+		key = append(key, '|')
+		key = strconv.AppendInt(key, int64(p.id), 10)
+		key = append(key, ':')
+		key = strconv.AppendUint(key, p.bits, 16)
+	}
+	e.keyScratch = key
+	return string(key)
+}
+
+func (e *simEvaluator) Makespan(delays map[dag.StageID]float64) (float64, error) {
+	sh := e.shared
+	var fp string
+	if !sh.disable {
+		fp = e.fingerprint(delays)
+		sh.mu.Lock()
+		if mk, ok := sh.memo[fp]; ok {
+			sh.stats.CacheHits++
+			sh.mu.Unlock()
+			return mk, nil
+		}
+		sh.mu.Unlock()
+	}
+	mk, forked, err := e.simulate(delays)
 	if err != nil {
 		return 0, err
 	}
-	// Completion time of the whole (active) job, measured from job start.
-	// Eq. (3) charges the delays x_k to the path times, so a window-width
-	// objective would let delays shift every path later for free; and
-	// minimizing only the last *parallel* stage can push the specific
-	// parents of a sequential tail later while the K-maximum shrinks,
-	// hurting the JCT the paper reports. The job end subsumes both: with
-	// zero-length tails it equals the parallel-region completion.
+	sh.mu.Lock()
+	if !sh.disable {
+		sh.memo[fp] = mk
+	}
+	if forked {
+		sh.stats.ForkedRuns++
+	} else {
+		sh.stats.FullRuns++
+	}
+	sh.mu.Unlock()
+	return mk, nil
+}
+
+// simulate answers one what-if configuration, forking the armed scan
+// snapshot when one exists. The bool reports whether the answer came from
+// a fork rather than a from-scratch run.
+//
+// Within a scan the first miss runs from scratch while holding scanMu (so
+// concurrent misses queue behind it instead of racing to duplicate the
+// work) and records the scanned stage's ready time; the second miss
+// freezes the shared prefix there; every later miss forks it. The counts
+// are therefore deterministic at any Parallelism setting: one full run and
+// m−1 forks for a scan with m misses.
+func (e *simEvaluator) simulate(delays map[dag.StageID]float64) (float64, bool, error) {
+	sh := e.shared
+	if !sh.disable {
+		sh.scanMu.Lock()
+		if sh.scan.on {
+			if sh.scan.snap == nil && sh.scan.trOK {
+				// Second miss: snapshot just before the scanned stage's
+				// ready time with every delay but the scanned stage's
+				// baked in.
+				pre := make(map[dag.StageID]float64, len(delays))
+				for id, v := range delays {
+					if id != sh.scan.kid && e.cur.Graph.Stage(id) != nil {
+						pre[id] = v
+					}
+				}
+				snap, err := sim.SnapshotAt(sim.Options{Cluster: e.coarse, TrackNode: -1},
+					[]sim.JobRun{{Job: e.cur, Delays: pre}}, sh.scan.tr)
+				if err != nil {
+					sh.scanMu.Unlock()
+					return 0, false, err
+				}
+				sh.scan.snap = snap
+			}
+			if snap, kid := sh.scan.snap, sh.scan.kid; snap != nil {
+				sh.scanMu.Unlock()
+				res, err := snap.Resume([]sim.DelayUpdate{{Job: 0, Stage: kid, Delay: delays[kid]}})
+				if err != nil {
+					return 0, false, err
+				}
+				return jobEnd(res), true, nil
+			}
+			// First miss of the scan.
+			res, err := e.fullRun(delays)
+			if err == nil {
+				if tl := res.Timeline(0, sh.scan.kid); tl != nil {
+					sh.scan.tr, sh.scan.trOK = tl.Ready, true
+				}
+			}
+			sh.scanMu.Unlock()
+			if err != nil {
+				return 0, false, err
+			}
+			return jobEnd(res), false, nil
+		}
+		sh.scanMu.Unlock()
+	}
+	res, err := e.fullRun(delays)
+	if err != nil {
+		return 0, false, err
+	}
+	return jobEnd(res), false, nil
+}
+
+// fullRun simulates the active sub-job from scratch. Delays for stages
+// outside the sub-job are filtered out; when every entry applies — the
+// common case — the caller's live map is passed through as-is (sim.Run
+// neither retains nor mutates it), and the filtered copy otherwise lands
+// in a reused scratch map. Both avoid the per-call map the old code built.
+func (e *simEvaluator) fullRun(delays map[dag.StageID]float64) (*sim.Result, error) {
+	d := delays
+	if len(delays) > 0 {
+		for id := range delays {
+			if e.cur.Graph.Stage(id) == nil {
+				if e.filterScratch == nil {
+					e.filterScratch = make(map[dag.StageID]float64, len(delays))
+				} else {
+					clear(e.filterScratch)
+				}
+				for id, v := range delays {
+					if e.cur.Graph.Stage(id) != nil {
+						e.filterScratch[id] = v
+					}
+				}
+				d = e.filterScratch
+				break
+			}
+		}
+	}
+	return sim.Run(sim.Options{Cluster: e.coarse, TrackNode: -1},
+		[]sim.JobRun{{Job: e.cur, Delays: d}})
+}
+
+// jobEnd is the completion time of the whole (active) job, measured from
+// job start. Eq. (3) charges the delays x_k to the path times, so a
+// window-width objective would let delays shift every path later for free;
+// and minimizing only the last *parallel* stage can push the specific
+// parents of a sequential tail later while the K-maximum shrinks, hurting
+// the JCT the paper reports. The job end subsumes both: with zero-length
+// tails it equals the parallel-region completion.
+func jobEnd(res *sim.Result) float64 {
 	end := 0.0
 	for _, tl := range res.Timelines {
 		if tl.End > end {
 			end = tl.End
 		}
 	}
-	return end, nil
+	return end
 }
 
 // modelEvaluator approximates the same question in closed form, phase by

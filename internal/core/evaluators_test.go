@@ -54,7 +54,7 @@ func TestSimEvaluatorMatchesDirectSim(t *testing.T) {
 	j := workload.LDA(c, 0.2)
 	reach, _ := dag.NewReachability(j.Graph)
 	k := dag.ParallelStages(j.Graph, reach)
-	ev := newSimEvaluator(c, j, k)
+	ev := newSimEvaluator(c, j, k, false)
 	got, err := ev.Makespan(nil)
 	if err != nil {
 		t.Fatal(err)

@@ -74,6 +74,10 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 	type planned struct {
 		believed *workload.Job // the noisy job the planner saw
 		ds       scheduler.Plan
+		// primer shares the plan's predicted timelines and the replan
+		// cache across the grid cells' per-run watchdogs (nil when the
+		// plan delays nothing).
+		primer *scheduler.GuardPrimer
 	}
 	plans := map[string]planned{}
 	cleanJCT := map[string]float64{}
@@ -83,7 +87,11 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		plans[name] = planned{believed: believed, ds: ds}
+		primer, err := scheduler.GuardedDelayStage{}.Primer(c, believed, ds)
+		if err != nil {
+			return nil, err
+		}
+		plans[name] = planned{believed: believed, ds: ds, primer: primer}
 		clean, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1},
 			[]sim.JobRun{{Job: jobs[name]}})
 		if err != nil {
@@ -132,13 +140,12 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 				run.Delays = pl.ds.Delays
 			case "guarded":
 				run.Delays = pl.ds.Delays
-				// Guards are stateful: a fresh one per run, primed with
-				// the (noisy) profiles the planner believed.
-				wd, err := scheduler.GuardedDelayStage{}.WatchdogFor(c, pl.believed, pl.ds)
-				if err != nil {
-					return err
+				// Guards are stateful: a fresh one per run, drawn from the
+				// shared primer (predictions computed once per workload,
+				// replans memoized across cells).
+				if pl.primer != nil {
+					opt.Watchdog = pl.primer.Watchdog()
 				}
-				opt.Watchdog = wd
 			}
 			res, err := sim.Run(opt, []sim.JobRun{run})
 			if err != nil {

@@ -36,9 +36,32 @@ type Fig14Row struct {
 	AvgCPUUtil, AvgNetUtil float64
 }
 
+// EvalEfficiency aggregates the planner's what-if evaluation counters over
+// one figure: how many candidate evaluations Alg. 1 made and how the sim
+// evaluator answered them — from the memo cache, by forking a scan
+// snapshot (only the suffix after the scanned stage's ready time was
+// simulated), or by a full from-scratch simulation. Evaluations answered
+// by the closed-form model evaluator count only toward Evaluations (it
+// neither caches nor forks), so Evaluations ≥ CacheHits+Forked+Full.
+type EvalEfficiency struct {
+	Evaluations int
+	CacheHits   int
+	ForkedEvals int
+	FullEvals   int
+}
+
+func (e *EvalEfficiency) add(s *core.Schedule) {
+	e.Evaluations += s.Evaluations
+	e.CacheHits += s.CacheHits
+	e.ForkedEvals += s.ForkedEvals
+	e.FullEvals += s.FullEvals
+}
+
 // Fig14Result carries the Fig. 14 CDFs and the Table 4 utilizations.
 type Fig14Result struct {
 	Rows []Fig14Row
+	// Eval sums the planners' evaluation counters over the whole replay.
+	Eval EvalEfficiency
 }
 
 // Fig14 reproduces Fig. 14 and Table 4: replaying a synthetic Alibaba
@@ -79,7 +102,10 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 		// out; the utilization integrals are accumulated afterwards in job
 		// order to keep the floating-point sums bit-identical.
 		strat := strat
-		type jobOutcome struct{ jct, cpu, net float64 }
+		type jobOutcome struct {
+			jct, cpu, net float64
+			eval          EvalEfficiency
+		}
 		outcomes := make([]jobOutcome, len(prepared))
 		err := cfg.forEach(len(prepared), func(i int) error {
 			pj := prepared[i]
@@ -99,13 +125,14 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 					return err
 				}
 				delays = sched.Delays
+				outcomes[i].eval.add(sched)
 			}
 			res, err := sim.Run(sim.Options{Cluster: pj.slice, TrackNode: -1},
 				[]sim.JobRun{{Job: pj.wl, Delays: delays}})
 			if err != nil {
 				return err
 			}
-			outcomes[i] = jobOutcome{jct: res.JCT(0), cpu: res.AvgCPUUtil, net: res.AvgNetUtil}
+			outcomes[i].jct, outcomes[i].cpu, outcomes[i].net = res.JCT(0), res.AvgCPUUtil, res.AvgNetUtil
 			return nil
 		})
 		if err != nil {
@@ -118,6 +145,10 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 			cpuInt += o.cpu * o.jct
 			netInt += o.net * o.jct
 			timeInt += o.jct
+			out.Eval.Evaluations += o.eval.Evaluations
+			out.Eval.CacheHits += o.eval.CacheHits
+			out.Eval.ForkedEvals += o.eval.ForkedEvals
+			out.Eval.FullEvals += o.eval.FullEvals
 		}
 		out.Rows = append(out.Rows, Fig14Row{
 			Strategy:   strat.name,
@@ -163,6 +194,9 @@ type Fig15Point struct {
 // Fig15Result carries the Fig. 15 scaling curve.
 type Fig15Result struct {
 	Points []Fig15Point
+	// Eval sums the evaluation counters over every Compute call of the
+	// figure (the hit/fork/full breakdown covers the sim-evaluator runs).
+	Eval EvalEfficiency
 }
 
 // Fig15 reproduces Fig. 15: DelayStage's strategy computation time versus
@@ -176,17 +210,21 @@ func Fig15(cfg Config) (*Fig15Result, error) {
 	for _, n := range []int{10, 20, 40, 80, 120, 160, 186} {
 		job := workload.RandomJob("fig15", c, n, rng)
 		t0 := time.Now()
-		if _, err := core.Compute(core.Options{Cluster: c, UseModelEvaluator: true, MaxCandidates: 12, RefinePasses: -1, Parallelism: cfg.Parallelism}, job); err != nil {
+		ms, err := core.Compute(core.Options{Cluster: c, UseModelEvaluator: true, MaxCandidates: 12, RefinePasses: -1, Parallelism: cfg.Parallelism}, job)
+		if err != nil {
 			return nil, err
 		}
 		modelMs := float64(time.Since(t0).Microseconds()) / 1000
+		out.Eval.add(ms)
 		simMs := 0.0
 		if n <= 40 {
 			t0 = time.Now()
-			if _, err := core.Compute(core.Options{Cluster: c, MaxCandidates: 12, Parallelism: cfg.Parallelism}, job); err != nil {
+			ss, err := core.Compute(core.Options{Cluster: c, MaxCandidates: 12, Parallelism: cfg.Parallelism}, job)
+			if err != nil {
 				return nil, err
 			}
 			simMs = float64(time.Since(t0).Microseconds()) / 1000
+			out.Eval.add(ss)
 		}
 		out.Points = append(out.Points, Fig15Point{Stages: n, ModelMs: modelMs, SimMs: simMs})
 	}

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"delaystage/internal/cluster"
@@ -74,11 +75,49 @@ func (g GuardedDelayStage) Plan(c *cluster.Cluster, job *workload.Job) (Plan, er
 // WatchdogFor builds a fresh guard for an existing DelayStage plan of job
 // (profiles as the planner believed them). Guards are stateful — one per
 // simulation run; callers replaying the same plan under many fault plans
-// plan once and take a new watchdog per run. Returns nil when the plan
-// delays nothing: submit-when-ready needs no guarding.
+// should build a Primer once and take a watchdog per run, which shares the
+// plan's predicted timelines and the replan cache instead of recomputing
+// them. Returns nil when the plan delays nothing: submit-when-ready needs
+// no guarding.
 func (g GuardedDelayStage) WatchdogFor(c *cluster.Cluster, job *workload.Job, plan Plan) (sim.Watchdog, error) {
+	p, err := g.Primer(c, job, plan)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	return p.Watchdog(), nil
+}
+
+// GuardPrimer holds everything the watchdogs of one (cluster, job, plan)
+// triple can share: the plan's predicted per-stage timelines (one
+// fault-free what-if simulation, previously re-run per watchdog) and a
+// cache of replan results keyed by the observed slowdown — grid sweeps
+// replaying one plan under many fault plans trip their guards at identical
+// drift ratios, so replans repeat verbatim across cells.
+type GuardPrimer struct {
+	g       GuardedDelayStage
+	cluster *cluster.Cluster
+	job     *workload.Job
+	delays  map[dag.StageID]float64
+	pred    map[dag.StageID]sim.StageTimeline
+
+	mu sync.Mutex
+	// replans caches Alg. 1's recomputed delay schedule per exact
+	// slowdown scale (float bits). Budget-exceeded and failed replans are
+	// never cached: they depend on wall-clock, not on the scale.
+	replans map[uint64]map[dag.StageID]float64
+}
+
+// Primer precomputes the shared watchdog state for an existing plan.
+// Returns (nil, nil) when the plan delays nothing.
+func (g GuardedDelayStage) Primer(c *cluster.Cluster, job *workload.Job, plan Plan) (*GuardPrimer, error) {
 	if len(plan.Delays) == 0 {
 		return nil, nil
+	}
+	if g.DriftTolerance <= 0 {
+		g.DriftTolerance = 0.15
+	}
+	if g.ReplanBudget <= 0 {
+		g.ReplanBudget = 100 * time.Millisecond
 	}
 	// Predict the per-stage timelines the plan promises: a fault-free
 	// what-if run of this job alone under the planned delays.
@@ -87,42 +126,61 @@ func (g GuardedDelayStage) WatchdogFor(c *cluster.Cluster, job *workload.Job, pl
 	if err != nil {
 		return nil, err
 	}
-	gd := &guard{
-		mode:    g.Mode,
-		tol:     g.DriftTolerance,
-		budget:  g.ReplanBudget,
+	p := &GuardPrimer{
+		g:       g,
 		cluster: c,
 		job:     job,
-		inner:   g.DelayStage,
 		delays:  make(map[dag.StageID]float64, len(plan.Delays)),
 		pred:    make(map[dag.StageID]sim.StageTimeline, len(pred.Timelines)),
-	}
-	if gd.tol <= 0 {
-		gd.tol = 0.15
-	}
-	if gd.budget <= 0 {
-		gd.budget = 100 * time.Millisecond
+		replans: map[uint64]map[dag.StageID]float64{},
 	}
 	for id, d := range plan.Delays {
-		gd.delays[id] = d
+		p.delays[id] = d
 	}
 	for _, tl := range pred.Timelines {
-		gd.pred[tl.Stage] = tl
+		p.pred[tl.Stage] = tl
 	}
-	return gd, nil
+	return p, nil
+}
+
+// Watchdog returns a fresh stateful guard backed by the primer. Safe to
+// call from concurrent sweep cells: the guards share only the immutable
+// predictions and the mutex-protected replan cache.
+func (p *GuardPrimer) Watchdog() sim.Watchdog {
+	return &guard{
+		mode:   p.g.Mode,
+		tol:    p.g.DriftTolerance,
+		budget: p.g.ReplanBudget,
+		primer: p,
+		delays: p.delays,
+		pred:   p.pred,
+	}
+}
+
+// cachedReplan returns the memoized replan schedule for a slowdown scale.
+func (p *GuardPrimer) cachedReplan(bits uint64) (map[dag.StageID]float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.replans[bits]
+	return d, ok
+}
+
+func (p *GuardPrimer) storeReplan(bits uint64, d map[dag.StageID]float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.replans[bits] = d
 }
 
 // guard is the runtime watchdog of one job's plan. The simulator calls it
-// synchronously from the event loop, so no locking is needed.
+// synchronously from the event loop, so the per-run state needs no
+// locking; delays and pred are the primer's shared maps, read-only here.
 type guard struct {
-	mode    GuardMode
-	tol     float64
-	budget  time.Duration
-	cluster *cluster.Cluster
-	job     *workload.Job
-	inner   DelayStage
-	delays  map[dag.StageID]float64
-	pred    map[dag.StageID]sim.StageTimeline
+	mode   GuardMode
+	tol    float64
+	budget time.Duration
+	primer *GuardPrimer
+	delays map[dag.StageID]float64
+	pred   map[dag.StageID]sim.StageTimeline
 
 	done      bool
 	completed map[dag.StageID]bool
@@ -207,7 +265,11 @@ func (g *guard) cancel(job int) []sim.DelayUpdate {
 // replan reruns Alg. 1 with profiles rescaled by the observed slowdown,
 // under the wall-clock budget; the unsubmitted suffix gets the fresh
 // delays. Any failure to produce a better answer in time degrades to
-// cancel.
+// cancel. Alg. 1 is deterministic in the scale, so the recomputed schedule
+// is memoized in the primer: sweep cells tripping at the same drift reuse
+// it instead of re-running the search. Budget misses are not cached —
+// they depend on the machine's momentary load, and a transient miss must
+// not poison every later run sharing the primer.
 func (g *guard) replan(job int) []sim.DelayUpdate {
 	scale := 1.0
 	if g.predDur > 1e-9 && g.obsDur > 1e-9 {
@@ -216,32 +278,40 @@ func (g *guard) replan(job int) []sim.DelayUpdate {
 	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		return g.cancel(job)
 	}
-	scaled := g.job.Clone()
-	for _, id := range scaled.Graph.Stages() {
-		p := scaled.Profiles[id]
-		p.ProcRate /= scale
-		scaled.Profiles[id] = p
-	}
-	s, err := core.Compute(core.Options{
-		Cluster:           g.cluster,
-		Order:             g.inner.Order,
-		Seed:              g.inner.Seed,
-		UseModelEvaluator: g.inner.UseModelEvaluator,
-		SlotSeconds:       g.inner.SlotSeconds,
-		MaxCandidates:     g.inner.MaxCandidates,
-		Parallelism:       g.inner.Parallelism,
-		Budget:            g.budget,
-	}, scaled)
-	if err != nil || s.BudgetExceeded {
-		return g.cancel(job)
+	bits := math.Float64bits(scale)
+	newDelays, ok := g.primer.cachedReplan(bits)
+	if !ok {
+		scaled := g.primer.job.Clone()
+		for _, id := range scaled.Graph.Stages() {
+			p := scaled.Profiles[id]
+			p.ProcRate /= scale
+			scaled.Profiles[id] = p
+		}
+		inner := g.primer.g.DelayStage
+		s, err := core.Compute(core.Options{
+			Cluster:           g.primer.cluster,
+			Order:             inner.Order,
+			Seed:              inner.Seed,
+			UseModelEvaluator: inner.UseModelEvaluator,
+			SlotSeconds:       inner.SlotSeconds,
+			MaxCandidates:     inner.MaxCandidates,
+			Parallelism:       inner.Parallelism,
+			DisableEvalCache:  inner.DisableEvalCache,
+			Budget:            g.budget,
+		}, scaled)
+		if err != nil || s.BudgetExceeded {
+			return g.cancel(job)
+		}
+		newDelays = s.Delays
+		g.primer.storeReplan(bits, newDelays)
 	}
 	// Revise every stage the old or new plan delays; completed stages
 	// are skipped (and submitted ones ignored by the engine anyway).
 	union := make(map[dag.StageID]float64, len(g.delays))
 	for id := range g.delays {
-		union[id] = s.Delays[id]
+		union[id] = newDelays[id]
 	}
-	for id, d := range s.Delays {
+	for id, d := range newDelays {
 		union[id] = d
 	}
 	out := make([]sim.DelayUpdate, 0, len(union))

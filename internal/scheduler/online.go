@@ -63,9 +63,14 @@ func PlanOnline(opt OnlineOptions, jobs []*workload.Job, arrivals []float64) ([]
 
 	committed := make([]sim.JobRun, 0, len(jobs))
 	// evalTotal simulates the committed runs plus the candidate and
-	// returns Σ (end − arrival) over all jobs.
+	// returns Σ (end − arrival) over all jobs. The run slice is scratch
+	// reused across the thousands of candidate evaluations one planning
+	// pass makes (sim.Run does not retain it): committed only grows when a
+	// job is sealed, so per candidate only the last element changes.
+	scratch := make([]sim.JobRun, 0, len(jobs)+1)
 	evalTotal := func(candidate sim.JobRun) (float64, error) {
-		runs := append(append([]sim.JobRun(nil), committed...), candidate)
+		scratch = append(append(scratch[:0], committed...), candidate)
+		runs := scratch
 		res, err := sim.Run(sim.Options{Cluster: coarse, TrackNode: -1, FairByJob: opt.FairByJob}, runs)
 		if err != nil {
 			return 0, err

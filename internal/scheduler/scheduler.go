@@ -90,6 +90,10 @@ type DelayStage struct {
 	// Parallelism evaluates delay candidates on that many goroutines
 	// (0/1 = sequential). The plan is bit-identical at any setting.
 	Parallelism int
+	// DisableEvalCache turns off the what-if memo cache and snapshot
+	// forking in the sim evaluator (see core.Options.DisableEvalCache);
+	// plans are identical either way.
+	DisableEvalCache bool
 }
 
 // Name implements Strategy.
@@ -110,6 +114,7 @@ func (d DelayStage) Plan(c *cluster.Cluster, job *workload.Job) (Plan, error) {
 		SlotSeconds:       d.SlotSeconds,
 		MaxCandidates:     d.MaxCandidates,
 		Parallelism:       d.Parallelism,
+		DisableEvalCache:  d.DisableEvalCache,
 	}, job)
 	if err != nil {
 		return Plan{}, err

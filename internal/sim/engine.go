@@ -263,6 +263,16 @@ type engine struct {
 	shareObs ShareObserver
 	shareScr []ShareSample
 
+	// Checkpointing (SnapshotAt): with haltSet, the event loop stops at an
+	// event boundary before simulated time reaches haltAt — before firing
+	// any timer whose effective time is ≥ haltAt and before any advance
+	// that would land at or past it. A halted engine holds exactly the
+	// state a from-scratch run has at that boundary, so resuming replays
+	// the identical floating-point trajectory.
+	haltSet bool
+	haltAt  float64
+	halted  bool
+
 	// Scratch buffers reused across events (the engine is single-threaded;
 	// each is live only within one helper call).
 	itemPool         []*item
@@ -1228,9 +1238,36 @@ func (e *engine) removeDone() {
 
 func (e *engine) run() (*Result, error) {
 	e.setup()
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	e.finalize()
+	return e.res, nil
+}
+
+// loop is the event loop proper (post-setup, pre-finalize). With haltSet it
+// returns early — halted=true — at the event boundary just before simulated
+// time reaches haltAt; re-entering loop on (a clone of) the halted engine
+// continues the run as if it had never stopped: the loop-top timer scan,
+// maybePrefetch and the rates pass are all idempotent at a boundary, so the
+// resumed trajectory is bit-identical to an uninterrupted one.
+func (e *engine) loop() error {
 	for {
 		// Fire all timers due now.
 		for len(e.timers) > 0 && e.timers[0].at <= e.now+eps {
+			if e.haltSet {
+				// The timer would fire at max(now, at) — the same clock
+				// value fireTimer runs under. Stop before popping it if
+				// that lands at or past the halt time.
+				eff := e.timers[0].at
+				if eff < e.now {
+					eff = e.now
+				}
+				if eff >= e.haltAt {
+					e.halted = true
+					return nil
+				}
+			}
 			t := e.timers.pop()
 			if t.at > e.now {
 				e.now = t.at
@@ -1254,23 +1291,29 @@ func (e *engine) run() (*Result, error) {
 			}
 		}
 		if math.IsInf(dt, 1) {
-			return nil, fmt.Errorf("sim: deadlock at t=%.3f with %d items", e.now, len(e.items))
+			return fmt.Errorf("sim: deadlock at t=%.3f with %d items", e.now, len(e.items))
 		}
 		if dt < minDT {
 			dt = minDT
+		}
+		if e.haltSet && e.now+dt >= e.haltAt {
+			// The same floating-point expression advance would store into
+			// e.now: halting here leaves the engine exactly one advance
+			// short of the halt time, at a clean pre-advance boundary.
+			e.halted = true
+			return nil
 		}
 		e.advance(dt)
 		e.removeDone()
 		e.res.Events++
 		if e.now > e.opt.MaxTime {
-			return nil, fmt.Errorf("sim: exceeded MaxTime %.0fs", e.opt.MaxTime)
+			return fmt.Errorf("sim: exceeded MaxTime %.0fs", e.opt.MaxTime)
 		}
 		if e.res.Events > 5_000_000 {
-			return nil, fmt.Errorf("sim: event limit exceeded at t=%.3f with %d items", e.now, len(e.items))
+			return fmt.Errorf("sim: event limit exceeded at t=%.3f with %d items", e.now, len(e.items))
 		}
 	}
-	e.finalize()
-	return e.res, nil
+	return nil
 }
 
 func (e *engine) finalize() {

@@ -254,28 +254,41 @@ func Coarsen(c *cluster.Cluster) *cluster.Cluster {
 
 // Run simulates the given jobs and returns the result.
 func Run(opt Options, runs []JobRun) (*Result, error) {
-	if opt.Cluster == nil {
-		return nil, fmt.Errorf("sim: nil cluster")
-	}
-	if err := opt.Cluster.Validate(); err != nil {
+	opt, err := prepare(opt, runs)
+	if err != nil {
 		return nil, err
 	}
+	e := newEngine(opt, runs)
+	return e.run()
+}
+
+// prepare validates a run configuration and applies the option defaults,
+// returning the normalized options. Shared by Run and SnapshotAt so a
+// snapshot's engine is constructed under exactly the defaults a direct Run
+// would use.
+func prepare(opt Options, runs []JobRun) (Options, error) {
+	if opt.Cluster == nil {
+		return opt, fmt.Errorf("sim: nil cluster")
+	}
+	if err := opt.Cluster.Validate(); err != nil {
+		return opt, err
+	}
 	if len(runs) == 0 {
-		return nil, fmt.Errorf("sim: no jobs")
+		return opt, fmt.Errorf("sim: no jobs")
 	}
 	for i, r := range runs {
 		if r.Job == nil {
-			return nil, fmt.Errorf("sim: job %d is nil", i)
+			return opt, fmt.Errorf("sim: job %d is nil", i)
 		}
 		if err := r.Job.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: job %d: %w", i, err)
+			return opt, fmt.Errorf("sim: job %d: %w", i, err)
 		}
 		if r.Arrival < 0 || math.IsNaN(r.Arrival) {
-			return nil, fmt.Errorf("sim: job %d has invalid arrival %v", i, r.Arrival)
+			return opt, fmt.Errorf("sim: job %d has invalid arrival %v", i, r.Arrival)
 		}
 		for s, d := range r.Delays {
 			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-				return nil, fmt.Errorf("sim: job %d stage %d has invalid delay %v", i, s, d)
+				return opt, fmt.Errorf("sim: job %d stage %d has invalid delay %v", i, s, d)
 			}
 		}
 	}
@@ -283,7 +296,7 @@ func Run(opt Options, runs []JobRun) (*Result, error) {
 		n := len(opt.Cluster.Nodes)
 		for _, cr := range opt.Faults.Crashes() {
 			if cr.Node >= n {
-				return nil, fmt.Errorf("sim: fault plan crashes node %d but cluster has %d nodes", cr.Node, n)
+				return opt, fmt.Errorf("sim: fault plan crashes node %d but cluster has %d nodes", cr.Node, n)
 			}
 		}
 	}
@@ -306,6 +319,5 @@ func Run(opt Options, runs []JobRun) (*Result, error) {
 	} else if opt.AggShuffleOverhead < 0 {
 		opt.AggShuffleOverhead = 0
 	}
-	e := newEngine(opt, runs)
-	return e.run()
+	return opt, nil
 }

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"delaystage/internal/dag"
+)
+
+// Snapshot is a checkpoint of a simulation, frozen at an event boundary
+// strictly before the requested time. The engine is deterministic and
+// RNG-free (fault draws are hash-based, not stream-based), so a snapshot
+// can be forked any number of times: each Resume deep-copies the frozen
+// engine and continues it, and a resumed run is bit-identical to a
+// from-scratch Run of the same configuration — including every
+// floating-point accumulation — because the halt only ever happens where
+// the event loop would re-enter idempotently (before a timer pop, or
+// before an advance).
+//
+// The intended use is what-if evaluation (internal/core's sim evaluator):
+// all delay candidates of one stage share the simulation prefix up to that
+// stage's ready time, so a scan of C candidates costs one prefix plus C
+// suffixes instead of C full runs.
+type Snapshot struct {
+	eng *engine
+	// At is the stop-before time the snapshot was requested at. The
+	// engine's clock (Clock) is at the last event boundary before it.
+	At float64
+}
+
+// Clock returns the simulated time the snapshot is frozen at — the last
+// event boundary strictly before the requested stop time (or the run's end
+// when it finished earlier).
+func (s *Snapshot) Clock() float64 { return s.eng.now }
+
+// Completed reports whether the simulation already ran to completion
+// before the requested stop time (Resume then just finalizes the result).
+func (s *Snapshot) Completed() bool { return !s.eng.halted }
+
+// SnapshotAt validates the configuration exactly as Run does, simulates
+// until just before simulated time reaches stopBefore, and freezes the
+// engine there. Each run's Delays map is deep-copied, so the caller may
+// keep mutating it between forks.
+//
+// Options carrying an Observer or Watchdog are rejected: both receive
+// events synchronously and accumulate external state the fork cannot
+// duplicate. Faults are allowed — the injector's draws are pure functions
+// of (seed, task attempt), shared read-only across forks.
+func SnapshotAt(opt Options, runs []JobRun, stopBefore float64) (*Snapshot, error) {
+	if opt.Observer != nil {
+		return nil, fmt.Errorf("sim: snapshot with an Observer is not supported (observer state cannot be forked)")
+	}
+	if opt.Watchdog != nil {
+		return nil, fmt.Errorf("sim: snapshot with a Watchdog is not supported (watchdog state cannot be forked)")
+	}
+	if stopBefore < 0 || math.IsNaN(stopBefore) || math.IsInf(stopBefore, 0) {
+		return nil, fmt.Errorf("sim: invalid snapshot time %v", stopBefore)
+	}
+	opt, err := prepare(opt, runs)
+	if err != nil {
+		return nil, err
+	}
+	frozen := make([]JobRun, len(runs))
+	copy(frozen, runs)
+	for i := range frozen {
+		if frozen[i].Delays != nil {
+			d := make(map[dag.StageID]float64, len(frozen[i].Delays))
+			for id, v := range frozen[i].Delays {
+				d[id] = v
+			}
+			frozen[i].Delays = d
+		}
+	}
+	e := newEngine(opt, frozen)
+	e.haltSet = true
+	e.haltAt = stopBefore
+	e.setup()
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	return &Snapshot{eng: e, At: stopBefore}, nil
+}
+
+// Resume forks the snapshot and runs the copy to completion, optionally
+// revising the submission delays of stages first. The snapshot itself is
+// never mutated — Resume may be called repeatedly, and concurrently from
+// multiple goroutines.
+//
+// Updates may only name stages that were not yet submitted at the
+// checkpoint (submitted work cannot be un-submitted; such updates return
+// an error). A revised stage that was not yet *ready* at the checkpoint
+// simply reads the new delay when it becomes ready, which keeps the run
+// bit-identical to a from-scratch Run with that delay in the run's Delays
+// map — the delay value is only ever read at readiness, after the halt
+// point. A stage that was already ready (but still waiting out its old
+// delay) is moved like a watchdog revision: exact in semantics, but the
+// superseded submission timer makes the event sequence differ from a
+// from-scratch run's, so bit-identity is not guaranteed in that case.
+func (s *Snapshot) Resume(updates []DelayUpdate) (*Result, error) {
+	e := s.eng.clone()
+	e.haltSet, e.haltAt, e.halted = false, 0, false
+	for _, u := range updates {
+		st := e.states[skey{u.Job, u.Stage}]
+		if st == nil {
+			return nil, fmt.Errorf("sim: resume: job %d has no stage %d", u.Job, u.Stage)
+		}
+		if st.submitted {
+			return nil, fmt.Errorf("sim: resume: job %d stage %d was already submitted at the checkpoint (t=%.6g)", u.Job, u.Stage, s.eng.now)
+		}
+		if u.Delay < 0 || math.IsNaN(u.Delay) || math.IsInf(u.Delay, 0) {
+			return nil, fmt.Errorf("sim: resume: job %d stage %d has invalid delay %v", u.Job, u.Stage, u.Delay)
+		}
+		dd := u.Delay
+		st.delayOverride = &dd
+		if st.readyValid {
+			at := st.tl.Ready + dd
+			if at < e.now {
+				at = e.now
+			}
+			st.submitAt = at
+			e.pushTimer(at, tSubmitStage, st.key, u.Job)
+		}
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	e.finalize()
+	return e.res, nil
+}
+
+// Resume is the package-level form of (*Snapshot).Resume: continue a
+// snapshot under extra delay revisions.
+func Resume(s *Snapshot, updates []DelayUpdate) (*Result, error) {
+	return s.Resume(updates)
+}
+
+// clone deep-copies the engine's mutable state. Immutable inputs — the
+// cluster capacities, job graphs, per-stage children/availability wiring,
+// the fault injector — are shared; everything the event loop writes is
+// copied, so the original can be resumed again later. Scratch buffers are
+// not copied (they carry no state across events).
+func (e *engine) clone() *engine {
+	c := newEngine(e.opt, e.runs)
+	c.seq = e.seq
+	c.now = e.now
+	c.haltSet, c.haltAt, c.halted = e.haltSet, e.haltAt, e.halted
+	c.lastTrack = e.lastTrack
+	c.cpuBusyInt = e.cpuBusyInt
+	c.netBytesInt = e.netBytesInt
+	c.diskBytesInt = e.diskBytesInt
+	c.jobsLeft = e.jobsLeft
+	c.stagesLeft = append([]int(nil), e.stagesLeft...)
+	copy(c.failed, e.failed)
+
+	// Stage states, in deterministic stateList order; the old→new pointer
+	// map rewires item back-references below.
+	sm := make(map[*stageState]*stageState, len(e.stateList))
+	for _, st := range e.stateList {
+		ns := new(stageState)
+		*ns = *st
+		if len(st.pendingCompute) > 0 {
+			ns.pendingCompute = append([]int(nil), st.pendingCompute...)
+		}
+		if st.delayOverride != nil {
+			d := *st.delayOverride
+			ns.delayOverride = &d
+		}
+		sm[st] = ns
+		c.states[ns.key] = ns
+		c.stateList = append(c.stateList, ns)
+	}
+
+	// Live items, preserving e.items order; buckets are rebuilt from the
+	// old buckets through the old→new item map so their subsequence order
+	// — which fixes the floating-point accumulation order of the rates
+	// passes — carries over exactly.
+	im := make(map[*item]*item, len(e.items))
+	for _, it := range e.items {
+		ni := new(item)
+		*ni = *it
+		ni.st = sm[it.st]
+		im[it] = ni
+		c.items = append(c.items, ni)
+	}
+	for w := 0; w < e.nNodes; w++ {
+		for _, it := range e.computeBk[w] {
+			c.computeBk[w] = append(c.computeBk[w], im[it])
+		}
+		for _, it := range e.readBk[w] {
+			c.readBk[w] = append(c.readBk[w], im[it])
+		}
+		for _, it := range e.writeBk[w] {
+			c.writeBk[w] = append(c.writeBk[w], im[it])
+		}
+	}
+	copy(c.dirtyC, e.dirtyC)
+	copy(c.dirtyR, e.dirtyR)
+	copy(c.dirtyW, e.dirtyW)
+
+	c.timers = append(timerHeap(nil), e.timers...)
+	c.res = e.res.clone()
+	for k, seg := range e.occOpen {
+		s := *seg
+		c.occOpen[k] = &s
+	}
+	for k, rs := range e.recomps {
+		c.recomps[k] = &recompState{held: append([]skey(nil), rs.held...)}
+	}
+	return c
+}
+
+// clone deep-copies a result in progress (every slice gets fresh backing).
+func (r *Result) clone() *Result {
+	c := *r
+	c.Timelines = append([]StageTimeline(nil), r.Timelines...)
+	c.JobEnd = append([]float64(nil), r.JobEnd...)
+	c.JobStart = append([]float64(nil), r.JobStart...)
+	c.JobErrors = append([]error(nil), r.JobErrors...)
+	c.Node = r.Node.clone()
+	c.Cluster = r.Cluster.clone()
+	c.Occupancy = append([]OccupancySegment(nil), r.Occupancy...)
+	return &c
+}
+
+func (u NodeUsage) clone() NodeUsage {
+	return NodeUsage{
+		CPUBusy:  append(Series(nil), u.CPUBusy...),
+		NetRate:  append(Series(nil), u.NetRate...),
+		DiskRate: append(Series(nil), u.DiskRate...),
+	}
+}

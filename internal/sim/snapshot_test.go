@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+	"delaystage/internal/faults"
+	"delaystage/internal/workload"
+)
+
+// galleryJobs returns the workload gallery (the four paper jobs plus ALS)
+// on the given cluster, in deterministic name order.
+func galleryJobs(c *cluster.Cluster, scale float64) []*workload.Job {
+	m := workload.PaperWorkloads(c, scale)
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	jobs := make([]*workload.Job, 0, len(names)+1)
+	for _, n := range names {
+		jobs = append(jobs, m[n])
+	}
+	jobs = append(jobs, workload.ALS(c, scale))
+	return jobs
+}
+
+// randomDelays draws a sparse random delay vector for the job.
+func randomDelays(job *workload.Job, rng *rand.Rand) map[dag.StageID]float64 {
+	d := map[dag.StageID]float64{}
+	for _, id := range job.Graph.Stages() {
+		if rng.Float64() < 0.4 {
+			d[id] = rng.Float64() * 60
+		}
+	}
+	return d
+}
+
+// requireIdentical fails unless two results are deeply (bit-)identical.
+func requireIdentical(t *testing.T, ctx string, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: resumed result differs from from-scratch run\nwant makespan=%v events=%d\ngot  makespan=%v events=%d",
+			ctx, want.Makespan, want.Events, got.Makespan, got.Events)
+	}
+}
+
+// TestSnapshotResumeRoundTrip checks the core checkpoint property over the
+// whole workload gallery: for any checkpoint time, SnapshotAt + Resume(nil)
+// reproduces the uninterrupted Run bit for bit — timelines, usage series,
+// integrals and the event count all included.
+func TestSnapshotResumeRoundTrip(t *testing.T) {
+	c := cluster.NewM4LargeCluster(6)
+	rng := rand.New(rand.NewSource(11))
+	crash, err := faults.NewInjector(faults.FaultPlan{
+		Seed: 3, TaskFailureProb: 0.03, StragglerFrac: 0.2, StragglerFactor: 2.5,
+		Crashes: []faults.NodeCrash{{Node: 1, At: 45}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"plain", Options{Cluster: c, TrackNode: -1}},
+		{"tracked", Options{Cluster: c, TrackNode: 0, TrackOccupancy: true, TrackCluster: true}},
+		{"aggshuffle", Options{Cluster: c, TrackNode: -1, AggShuffle: true}},
+		{"faults", Options{Cluster: c, TrackNode: -1, Faults: crash}},
+	}
+	for _, job := range galleryJobs(c, 0.3) {
+		for _, v := range variants {
+			runs := []JobRun{{Job: job, Delays: randomDelays(job, rng)}}
+			ref, err := Run(v.opt, runs)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", job.Name, v.name, err)
+			}
+			end := ref.JobEnd[0]
+			checkpoints := []float64{0, end * 0.1, end * 0.5, end * 0.9, end + 100}
+			for _, tl := range ref.Timelines {
+				checkpoints = append(checkpoints, tl.Ready, tl.ReadEnd)
+			}
+			for _, at := range checkpoints {
+				snap, err := SnapshotAt(v.opt, runs, at)
+				if err != nil {
+					t.Fatalf("%s/%s at %v: %v", job.Name, v.name, at, err)
+				}
+				got, err := snap.Resume(nil)
+				if err != nil {
+					t.Fatalf("%s/%s at %v: %v", job.Name, v.name, at, err)
+				}
+				requireIdentical(t, job.Name+"/"+v.name, ref, got)
+			}
+		}
+	}
+}
+
+// TestSnapshotForkDelayBitIdentical is the fork-correctness property the
+// what-if evaluator rests on: snapshot just before a stage's ready time,
+// resume with a revised delay for that stage, and the result must be
+// bit-identical to a from-scratch run that had the delay in its Delays map
+// all along. Covers every gallery workload, every stage, and random delay
+// candidates (plus 0 and the incumbent).
+func TestSnapshotForkDelayBitIdentical(t *testing.T) {
+	c := cluster.NewM4LargeCluster(4)
+	coarse := Coarsen(c)
+	rng := rand.New(rand.NewSource(23))
+	for _, job := range galleryJobs(c, 0.25) {
+		for _, cl := range []*cluster.Cluster{c, coarse} {
+			opt := Options{Cluster: cl, TrackNode: -1}
+			base := randomDelays(job, rng)
+			ref, err := Run(opt, []JobRun{{Job: job, Delays: base}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range job.Graph.Stages() {
+				tr := ref.Timeline(0, id).Ready
+				// The snapshot bakes in every delay except the scanned
+				// stage's — exactly how the evaluator forks a scan.
+				pre := make(map[dag.StageID]float64, len(base))
+				for k, v := range base {
+					if k != id {
+						pre[k] = v
+					}
+				}
+				snap, err := SnapshotAt(opt, []JobRun{{Job: job, Delays: pre}}, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, x := range []float64{0, base[id], rng.Float64() * 40, math.Pi} {
+					full := make(map[dag.StageID]float64, len(pre)+1)
+					for k, v := range pre {
+						full[k] = v
+					}
+					if x != 0 {
+						full[id] = x
+					}
+					want, err := Run(opt, []JobRun{{Job: job, Delays: full}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := snap.Resume([]DelayUpdate{{Job: 0, Stage: id, Delay: x}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdentical(t, job.Name, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotMultiJob covers checkpoints between job arrivals and delay
+// forks on the later job.
+func TestSnapshotMultiJob(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	jobs := galleryJobs(c, 0.2)
+	opt := Options{Cluster: c, TrackNode: -1, FairByJob: true}
+	runs := []JobRun{
+		{Job: jobs[0], Arrival: 0},
+		{Job: jobs[1], Arrival: 30},
+		{Job: jobs[2], Arrival: 60, Delays: map[dag.StageID]float64{jobs[2].Graph.Stages()[1]: 12}},
+	}
+	ref, err := Run(opt, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []float64{0, 15, 30, 45, 60, 61, ref.Makespan * 0.8} {
+		snap, err := SnapshotAt(opt, runs, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snap.Resume(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, "multi-job", ref, got)
+	}
+	// Fork job 2's delayed stage before its arrival.
+	kid := jobs[2].Graph.Stages()[1]
+	snap, err := SnapshotAt(opt, []JobRun{runs[0], runs[1], {Job: jobs[2], Arrival: 60}}, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := snap.Resume([]DelayUpdate{{Job: 2, Stage: kid, Delay: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "multi-job fork", ref, got)
+}
+
+// TestSnapshotResumeErrors pins the API's refusal cases.
+func TestSnapshotResumeErrors(t *testing.T) {
+	c := cluster.NewM4LargeCluster(3)
+	job := workload.TriangleCount(c, 0.2)
+	runs := []JobRun{{Job: job}}
+	opt := Options{Cluster: c, TrackNode: -1}
+	if _, err := SnapshotAt(opt, runs, math.Inf(1)); err == nil {
+		t.Error("want error for infinite snapshot time")
+	}
+	if _, err := SnapshotAt(opt, runs, -1); err == nil {
+		t.Error("want error for negative snapshot time")
+	}
+	if _, err := SnapshotAt(Options{Cluster: c, TrackNode: -1, Observer: nopObserver{}}, runs, 10); err == nil {
+		t.Error("want error for snapshot with observer")
+	}
+	ref, err := Run(opt, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotAt(opt, runs, ref.Makespan*0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := job.Graph.Roots()
+	if _, err := snap.Resume([]DelayUpdate{{Job: 0, Stage: roots[0], Delay: 5}}); err == nil {
+		t.Error("want error revising an already-submitted stage")
+	}
+	if _, err := snap.Resume([]DelayUpdate{{Job: 0, Stage: 9999, Delay: 5}}); err == nil {
+		t.Error("want error revising an unknown stage")
+	}
+	if _, err := snap.Resume([]DelayUpdate{{Job: 5, Stage: roots[0], Delay: 5}}); err == nil {
+		t.Error("want error revising an unknown job")
+	}
+}
+
+type nopObserver struct{}
+
+func (nopObserver) OnEvent(Event) {}
+
+// FuzzSnapshotResume fuzzes the round-trip property at arbitrary
+// checkpoint times and delay vectors: resuming a snapshot must reproduce
+// the uninterrupted run bit for bit.
+func FuzzSnapshotResume(f *testing.F) {
+	f.Add(uint8(0), int64(1), 0.5, false)
+	f.Add(uint8(1), int64(2), 0.0, true)
+	f.Add(uint8(2), int64(3), 1.5, false)
+	f.Add(uint8(3), int64(4), 0.99, true)
+	f.Add(uint8(4), int64(5), 0.01, false)
+	c := cluster.NewM4LargeCluster(4)
+	f.Fuzz(func(t *testing.T, jobIdx uint8, seed int64, frac float64, agg bool) {
+		if math.IsNaN(frac) || frac < 0 || frac > 3 {
+			t.Skip()
+		}
+		jobs := galleryJobs(c, 0.2)
+		job := jobs[int(jobIdx)%len(jobs)]
+		rng := rand.New(rand.NewSource(seed))
+		runs := []JobRun{{Job: job, Delays: randomDelays(job, rng)}}
+		opt := Options{Cluster: c, TrackNode: -1, AggShuffle: agg}
+		ref, err := Run(opt, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := frac * ref.Makespan
+		snap, err := SnapshotAt(opt, runs, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snap.Resume(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("resume at %v differs from uninterrupted run", at)
+		}
+	})
+}
