@@ -8,24 +8,40 @@
 //	tracegen -jobs 300 | replay
 //	replay -f trace.csv [-slice-machines 2]
 //	replay -f trace.csv -events ev.jsonl -chrometrace tr.json -json sum.json
+//	replay -f trace.csv -fault-rate 0.05 -node-mttf 4000 -speculate -blacklist-after 2
+//	replay -f trace.csv -checkpoint-dir ckpt -resume -json sum.json
 //
 // -events and -chrometrace capture the default-DelayStage replays (one sim
 // run per trace job, labelled run=<job index>); -json summarizes every
 // variant.
+//
+// -checkpoint-dir makes the replay crash-safe: after every job the
+// per-variant progress (bit-exact JCTs and utilization sums) is written
+// atomically to <dir>/replay.ckpt, and -resume continues from it — a
+// SIGKILLed replay resumed with the same flags produces a byte-identical
+// -json summary. A missing checkpoint starts fresh; a corrupt or
+// mismatched one (different trace or flags) is discarded with a warning.
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 
+	"delaystage/internal/ckpt"
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
 	"delaystage/internal/dag"
+	"delaystage/internal/faults"
 	"delaystage/internal/metrics"
 	"delaystage/internal/obs"
 	"delaystage/internal/sim"
@@ -33,22 +49,114 @@ import (
 )
 
 // variantSummary is one row of the -json output: the per-variant JCT
-// distribution and time-weighted utilizations.
+// distribution, time-weighted utilizations, and the count of jobs that
+// exhausted their retry budget (only possible with fault injection on).
 type variantSummary struct {
 	JCT     *metrics.CDF `json:"jct_seconds"`
 	CPUUtil float64      `json:"avg_cpu_util"`
 	NetUtil float64      `json:"avg_net_util"`
+	Failed  int          `json:"failed_jobs,omitempty"`
+}
+
+// progress is the resumable per-variant state: everything the final
+// summary derives from, with JCTs kept bit-exact.
+type progress struct {
+	done                    int // jobs fully replayed under this variant
+	jcts                    []float64
+	cpuInt, netInt, timeInt float64
+	failed                  int
+}
+
+const (
+	progressKind    = "replay-progress"
+	progressVersion = 1
+)
+
+// encodeProgress serializes per-variant progress in variant order; floats
+// as IEEE-754 bits, so a resumed replay sums the identical values.
+func encodeProgress(ps []*progress) []byte {
+	var b []byte
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(len(ps)))
+	for _, p := range ps {
+		u64(uint64(p.done))
+		u64(uint64(p.failed))
+		f64(p.cpuInt)
+		f64(p.netInt)
+		f64(p.timeInt)
+		u64(uint64(len(p.jcts)))
+		for _, j := range p.jcts {
+			f64(j)
+		}
+	}
+	return b
+}
+
+func decodeProgress(b []byte, nVariants int) ([]*progress, error) {
+	bad := func(reason string) ([]*progress, error) {
+		return nil, &ckpt.FormatError{Reason: reason}
+	}
+	off := 0
+	u64 := func() uint64 {
+		if off+8 > len(b) {
+			off = len(b) + 1 // poison: every later read fails too
+			return 0
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	f64 := func() float64 { return math.Float64frombits(u64()) }
+	if n := u64(); n != uint64(nVariants) {
+		return bad("variant count mismatch")
+	}
+	ps := make([]*progress, nVariants)
+	for i := range ps {
+		p := &progress{}
+		p.done = int(u64())
+		p.failed = int(u64())
+		p.cpuInt = f64()
+		p.netInt = f64()
+		p.timeInt = f64()
+		nj := u64()
+		if off > len(b) || nj > uint64(len(b)) {
+			return bad("truncated progress payload")
+		}
+		p.jcts = make([]float64, 0, nj)
+		for j := uint64(0); j < nj; j++ {
+			p.jcts = append(p.jcts, f64())
+		}
+		ps[i] = p
+	}
+	if off != len(b) {
+		return bad("progress payload length mismatch")
+	}
+	return ps, nil
 }
 
 func main() {
 	file := flag.String("f", "", "trace file (default: stdin)")
 	sliceMachines := flag.Int("slice-machines", 2, "machines in each job's even cluster slice")
 	seed := flag.Int64("seed", 1, "seed for slice bandwidth draws and the random order")
+	faultRate := flag.Float64("fault-rate", 0, "per-partition task failure probability")
+	stragFrac := flag.Float64("straggler-frac", 0, "fraction of partitions that straggle")
+	stragFactor := flag.Float64("straggler-factor", 1, "slowdown multiplier of straggling partitions")
+	nodeMTTF := flag.Float64("node-mttf", 0, "mean time to failure per slice machine in simulated seconds (0 = off)")
+	mttfHorizon := flag.Float64("mttf-horizon", 0, "only MTTF crash draws before this simulated time take effect (0 = unbounded)")
+	slowNodeFrac := flag.Float64("slow-node-frac", 0, "fraction of slice machines that run persistently slow")
+	slowNodeFactor := flag.Float64("slow-node-factor", 1, "slowdown multiplier of persistently slow machines")
+	faultSeed := flag.Int64("fault-seed", 1, "base seed of the fault injector (each trace job draws from seed+index)")
+	maxRetries := flag.Int("max-retries", 0, "attempts per partition before a job fails (0 = default 4)")
+	speculate := flag.Bool("speculate", false, "launch speculative clones of straggling partitions")
+	blacklistAfter := flag.Int("blacklist-after", 0, "blacklist a slice machine after this many faults on it (0 = off)")
 	eventsPath := flag.String("events", "", "write a JSONL event log of the default-DelayStage replays to this file (\"-\" = stdout)")
 	tracePath := flag.String("chrometrace", "", "write a Chrome trace of the default-DelayStage replays to this file")
 	jsonPath := flag.String("json", "", "write a machine-readable per-variant summary to this file (\"-\" = stdout)")
 	serveAddr := flag.String("serve", "", "serve live introspection (/metrics with per-variant JCT histograms, /healthz, /debug/pprof) on this address during the replay")
 	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the replay (for scraping short runs)")
+	ckptDir := flag.String("checkpoint-dir", "", "write per-job progress checkpoints into this directory (the replay becomes crash-safe)")
+	resume := flag.Bool("resume", false, "resume from the progress checkpoint in -checkpoint-dir (missing or stale checkpoints start fresh)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -60,7 +168,13 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	tr, err := trace.Parse(r)
+	// The raw trace bytes feed both the parser and the progress-checkpoint
+	// fingerprint: a checkpoint must only resume against the same trace.
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Parse(bytes.NewReader(raw))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,6 +186,27 @@ func main() {
 	slices := make([]*cluster.Cluster, len(tr.Jobs))
 	for i := range tr.Jobs {
 		slices[i] = sim.Coarsen(cluster.NewTraceCluster(*sliceMachines, 4, rng))
+	}
+
+	faultsOn := *faultRate > 0 || *stragFrac > 0 || *nodeMTTF > 0 || *slowNodeFrac > 0
+	injector := func(jobIdx int) *faults.Injector {
+		if !faultsOn {
+			return nil
+		}
+		inj, err := faults.NewInjector(faults.FaultPlan{
+			Seed:            *faultSeed + int64(jobIdx),
+			TaskFailureProb: *faultRate,
+			StragglerFrac:   *stragFrac,
+			StragglerFactor: *stragFactor,
+			NodeMTTF:        *nodeMTTF,
+			MTTFHorizon:     *mttfHorizon,
+			SlowNodeFrac:    *slowNodeFrac,
+			SlowNodeFactor:  *slowNodeFactor,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return inj
 	}
 
 	var jsonl *obs.JSONL
@@ -105,19 +240,101 @@ func main() {
 		srv = s
 		fmt.Fprintf(os.Stderr, "serving introspection on http://%s\n", srv.Addr)
 	}
-	summary := map[string]*variantSummary{}
 
 	type variant struct {
 		name  string
 		order core.Order
 		plain bool
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{name: "Fuxi", plain: true},
 		{name: "random DelayStage", order: core.Random},
 		{name: "default DelayStage", order: core.Descending},
 		{name: "ascending DelayStage", order: core.Ascending},
-	} {
+	}
+
+	// Progress checkpointing. The fingerprint covers the trace bytes and
+	// every flag that shapes a replayed run, so a checkpoint written under
+	// different inputs is rejected and discarded.
+	var ckptPath string
+	state := make([]*progress, len(variants))
+	for i := range state {
+		state[i] = &progress{}
+	}
+	if *ckptDir != "" {
+		if jsonl != nil || tracer != nil {
+			// A resumed replay skips completed jobs, so per-job event logs
+			// would silently come out partial.
+			log.Fatal("-checkpoint-dir is incompatible with -events and -chrometrace")
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		ckptPath = filepath.Join(*ckptDir, "replay.ckpt")
+	} else if *resume {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	cfgBuf := make([]byte, 0, 128)
+	for _, v := range []float64{float64(*sliceMachines), float64(*seed), *faultRate,
+		*stragFrac, *stragFactor, *nodeMTTF, *mttfHorizon, *slowNodeFrac, *slowNodeFactor,
+		float64(*faultSeed), float64(*maxRetries), float64(*blacklistAfter)} {
+		cfgBuf = binary.LittleEndian.AppendUint64(cfgBuf, math.Float64bits(v))
+	}
+	if *speculate {
+		cfgBuf = append(cfgBuf, 1)
+	} else {
+		cfgBuf = append(cfgBuf, 0)
+	}
+	for _, v := range variants {
+		cfgBuf = append(cfgBuf, v.name...)
+	}
+	h.Write(cfgBuf)
+	fingerprint := h.Sum64()
+	if *resume {
+		env, err := ckpt.ReadFile(ckptPath)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "no checkpoint at %s; starting fresh\n", ckptPath)
+		case err != nil:
+			if !ckpt.IsFormat(err) {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "unusable checkpoint (%v); starting fresh\n", err)
+		default:
+			verr := env.Expect(progressKind, progressVersion, fingerprint)
+			var loaded []*progress
+			if verr == nil {
+				loaded, verr = decodeProgress(env.Payload, len(variants))
+			}
+			if verr != nil {
+				fmt.Fprintf(os.Stderr, "unusable checkpoint (%v); starting fresh\n", verr)
+			} else {
+				state = loaded
+				done := 0
+				for _, p := range state {
+					done += p.done
+				}
+				fmt.Fprintf(os.Stderr, "resumed from %s: %d/%d runs already done\n",
+					ckptPath, done, len(variants)*len(tr.Jobs))
+			}
+		}
+	}
+	saveProgress := func() {
+		if ckptPath == "" {
+			return
+		}
+		if err := ckpt.WriteFile(ckptPath, ckpt.Envelope{
+			Kind: progressKind, Version: progressVersion,
+			Fingerprint: fingerprint, Payload: encodeProgress(state),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	summary := map[string]*variantSummary{}
+	for vi, v := range variants {
 		// Observers tap the default-DelayStage variant — the paper's
 		// headline configuration — with one "run" per trace job.
 		observed := v.order == core.Descending && !v.plain
@@ -126,9 +343,8 @@ func main() {
 			jctHist = reg.Histogram("replay_jct_seconds", fmt.Sprintf("{variant=%q}", v.name),
 				"per-job completion time by scheduling variant", obs.ExpBuckets(10, 2, 12))
 		}
-		var jcts []float64
-		var cpuInt, netInt, timeInt float64
-		for i := range tr.Jobs {
+		p := state[vi]
+		for i := p.done; i < len(tr.Jobs); i++ {
 			wl, err := tr.Jobs[i].Workload(slices[i], trace.DefaultSplit, nil)
 			if err != nil {
 				log.Fatalf("job %s: %v", tr.Jobs[i].Name, err)
@@ -147,7 +363,9 @@ func main() {
 				}
 				delays = sched.Delays
 			}
-			opt := sim.Options{Cluster: slices[i], TrackNode: -1}
+			opt := sim.Options{Cluster: slices[i], TrackNode: -1,
+				Faults: injector(i), MaxAttempts: *maxRetries,
+				Speculation: *speculate, BlacklistAfter: *blacklistAfter}
 			if observed {
 				if jsonl != nil {
 					jsonl.Run = i
@@ -161,21 +379,40 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			jct := res.JCT(0)
-			jcts = append(jcts, jct)
-			if jctHist != nil {
-				jctHist.Observe(jct)
+			if ferr := res.Failed(0); ferr != nil {
+				// With fault injection on, a job can exhaust its retry
+				// budget; it is a data point of the variant, not a replay
+				// error, and it contributes no JCT.
+				p.failed++
+			} else {
+				jct := res.JCT(0)
+				p.jcts = append(p.jcts, jct)
+				if jctHist != nil {
+					jctHist.Observe(jct)
+				}
+				p.cpuInt += res.AvgCPUUtil * jct
+				p.netInt += res.AvgNetUtil * jct
+				p.timeInt += jct
+			}
+			if runsDone != nil {
 				runsDone.Inc()
 			}
-			cpuInt += res.AvgCPUUtil * jct
-			netInt += res.AvgNetUtil * jct
-			timeInt += jct
+			p.done = i + 1
+			saveProgress()
 		}
-		cdf := metrics.NewCDF(jcts)
-		fmt.Printf("%-22s mean %8.0fs  P50 %8.0fs  P90 %8.0fs  P99 %8.0fs  CPU %5.1f%%  net %5.1f%%\n",
+		if len(p.jcts) == 0 {
+			log.Fatalf("%s: every job failed under the injected faults", v.name)
+		}
+		cdf := metrics.NewCDF(p.jcts)
+		fmt.Printf("%-22s mean %8.0fs  P50 %8.0fs  P90 %8.0fs  P99 %8.0fs  CPU %5.1f%%  net %5.1f%%",
 			v.name, cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.99),
-			cpuInt/timeInt*100, netInt/timeInt*100)
-		summary[v.name] = &variantSummary{JCT: cdf, CPUUtil: cpuInt / timeInt, NetUtil: netInt / timeInt}
+			p.cpuInt/p.timeInt*100, p.netInt/p.timeInt*100)
+		if p.failed > 0 {
+			fmt.Printf("  failed %d", p.failed)
+		}
+		fmt.Println()
+		summary[v.name] = &variantSummary{JCT: cdf, CPUUtil: p.cpuInt / p.timeInt,
+			NetUtil: p.netInt / p.timeInt, Failed: p.failed}
 	}
 
 	if jsonl != nil {

@@ -8,6 +8,10 @@
 //	simulate -spec job.json -strategy delaystage
 //	simulate -fault-rate 0.1 -straggler-frac 0.25 -straggler-factor 3 -guarded
 //	simulate -crash-node 1 -crash-at 120 -fault-seed 7 -max-retries 4
+//	simulate -node-mttf 600 -mttf-horizon 200 -slow-node-frac 0.2 -slow-node-factor 3
+//	simulate -crash-rack 1 -rack-size 4 -crash-rack-at 90 -speculate -blacklist-after 2
+//	simulate -checkpoint-dir ckpt -checkpoint-every 30        # crash-safe run
+//	simulate -checkpoint-dir ckpt -checkpoint-every 30 -resume # continue after a kill
 //	simulate -events run.jsonl -chrometrace trace.json -json summary.json
 //	simulate -report                      # append the attribution report
 //	simulate -checkpoint 40               # snapshot/fork round-trip check
@@ -19,10 +23,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"reflect"
 	"time"
 
 	"delaystage/internal/attr"
+	"delaystage/internal/ckpt"
 	"delaystage/internal/cluster"
 	"delaystage/internal/core"
 	"delaystage/internal/faults"
@@ -45,8 +51,21 @@ func main() {
 	stragFactor := flag.Float64("straggler-factor", 1, "slowdown multiplier of straggling partitions")
 	crashNode := flag.Int("crash-node", -1, "node to crash (-1 = none)")
 	crashAt := flag.Float64("crash-at", 0, "crash time in simulated seconds")
+	nodeMTTF := flag.Float64("node-mttf", 0, "mean time to failure per node in simulated seconds; every node draws a hash-based crash time (0 = off)")
+	mttfHorizon := flag.Float64("mttf-horizon", 0, "only MTTF crash draws before this simulated time take effect (0 = unbounded)")
+	slowNodeFrac := flag.Float64("slow-node-frac", 0, "fraction of nodes that run persistently slow")
+	slowNodeFactor := flag.Float64("slow-node-factor", 1, "slowdown multiplier of persistently slow nodes")
+	rackSize := flag.Int("rack-size", 0, "nodes per rack for -crash-rack (0 = no rack topology)")
+	crashRack := flag.Int("crash-rack", -1, "rack whose machines all crash at -crash-rack-at (-1 = none; requires -rack-size)")
+	crashRackAt := flag.Float64("crash-rack-at", 0, "rack crash time in simulated seconds")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the fault injector's deterministic draws")
 	maxRetries := flag.Int("max-retries", 0, "attempts per partition before the job fails (0 = default 4)")
+	speculate := flag.Bool("speculate", false, "launch speculative clones of straggling partitions on other nodes")
+	specThreshold := flag.Float64("spec-threshold", 0, "speculation slowness threshold vs the stage median (0 = default 1.5)")
+	blacklistAfter := flag.Int("blacklist-after", 0, "take a node out of placement after this many faults on it (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe run checkpoints into this directory (requires -checkpoint-every)")
+	ckptEvery := flag.Float64("checkpoint-every", 0, "checkpoint cadence in simulated seconds")
+	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists (missing or stale checkpoints start fresh)")
 	guarded := flag.Bool("guarded", false, "attach the runtime watchdog to a delaystage strategy (cancels stale delays)")
 	parallelism := flag.Int("parallelism", 1, "goroutines for the delaystage candidate scan (plan is bit-identical at any setting)")
 	eventsPath := flag.String("events", "", "write a JSONL event log of the run to this file (\"-\" = stdout)")
@@ -110,9 +129,17 @@ func main() {
 		TaskFailureProb: *faultRate,
 		StragglerFrac:   *stragFrac,
 		StragglerFactor: *stragFactor,
+		NodeMTTF:        *nodeMTTF,
+		MTTFHorizon:     *mttfHorizon,
+		SlowNodeFrac:    *slowNodeFrac,
+		SlowNodeFactor:  *slowNodeFactor,
+		RackSize:        *rackSize,
 	}
 	if *crashNode >= 0 {
 		plan.Crashes = []faults.NodeCrash{{Node: *crashNode, At: *crashAt}}
+	}
+	if *crashRack >= 0 {
+		plan.RackCrashes = []faults.RackCrash{{Rack: *crashRack, At: *crashRackAt}}
 	}
 	inj, err := faults.NewInjector(plan)
 	if err != nil {
@@ -161,9 +188,47 @@ func main() {
 
 	opt := sim.Options{Cluster: c, TrackNode: 0, TrackCluster: tracer != nil,
 		AggShuffle: p.AggShuffle, Faults: inj, MaxAttempts: *maxRetries,
+		Speculation: *speculate, SpeculationThreshold: *specThreshold, BlacklistAfter: *blacklistAfter,
 		Watchdog: p.Watchdog, Observer: obs.Multi(jsonl, tracer, collector, live)}
 	runs := []sim.JobRun{{Job: job, Delays: p.Delays}}
-	res, err := sim.Run(opt, runs)
+	var res *sim.Result
+	if *ckptDir != "" {
+		// Crash-safe mode: the run halts every -checkpoint-every simulated
+		// seconds and atomically rewrites its checkpoint; a killed process
+		// re-run with -resume continues from the file and finishes with a
+		// bit-identical result. Observers and watchdogs hold external state
+		// that cannot be serialized, so the flags are mutually exclusive.
+		if *ckptEvery <= 0 {
+			log.Fatal("-checkpoint-dir requires -checkpoint-every > 0")
+		}
+		if opt.Observer != nil || opt.Watchdog != nil {
+			log.Fatal("-checkpoint-dir is incompatible with -events, -chrometrace, -report, -serve and -guarded")
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*ckptDir, "simulate.ckpt")
+		if *resume {
+			res, err = sim.ResumeCheckpointed(opt, runs, path, *ckptEvery)
+			switch {
+			case err == nil:
+				fmt.Fprintf(os.Stderr, "resumed from %s\n", path)
+			case os.IsNotExist(err):
+				fmt.Fprintf(os.Stderr, "no checkpoint at %s; starting fresh\n", path)
+				res, err = sim.RunCheckpointed(opt, runs, path, *ckptEvery)
+			case ckpt.IsFormat(err):
+				fmt.Fprintf(os.Stderr, "unusable checkpoint (%v); starting fresh\n", err)
+				res, err = sim.RunCheckpointed(opt, runs, path, *ckptEvery)
+			}
+		} else {
+			res, err = sim.RunCheckpointed(opt, runs, path, *ckptEvery)
+		}
+	} else {
+		if *resume {
+			log.Fatal("-resume requires -checkpoint-dir")
+		}
+		res, err = sim.Run(opt, runs)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -257,6 +322,10 @@ func main() {
 		res.AvgCPUUtil*100, res.AvgNetUtil*100, res.AvgDiskUtil*100, res.Events)
 	if res.Retries > 0 {
 		fmt.Printf("retries absorbed: %d\n", res.Retries)
+	}
+	if res.SpecLaunched > 0 || res.Blacklisted > 0 {
+		fmt.Printf("speculative clones: %d launched, %d won   nodes blacklisted: %d\n",
+			res.SpecLaunched, res.SpecWins, res.Blacklisted)
 	}
 	if len(p.Delays) > 0 {
 		fmt.Printf("delays: %v\n", p.Delays)

@@ -117,6 +117,28 @@ type PairContention struct {
 	Seconds float64
 }
 
+// FaultSummary aggregates the run's fault and mitigation events:
+// machine crashes, the retry churn they caused, and what speculation and
+// blacklisting did about it. It separates failure-induced time (retry
+// backoff, recomputation) from the contention waits the rest of the
+// report attributes — a run can be slow because stages fought for a NIC
+// or because a machine died under it, and the two call for different
+// fixes.
+type FaultSummary struct {
+	// Retries counts failed partition attempts re-queued; BackoffSeconds
+	// sums the retry backoff imposed before each re-attempt.
+	Retries        int
+	BackoffSeconds float64
+	// NodeCrashes lists crashed node indices in event order (a node can
+	// appear once only; crashes are permanent).
+	NodeCrashes []int
+	// SpecLaunched / SpecWins count speculation clones started and races
+	// decided; Blacklisted lists nodes removed from placement.
+	SpecLaunched int
+	SpecWins     int
+	Blacklisted  []int
+}
+
 // JobPath is one job's critical path through its DAG.
 type JobPath struct {
 	Job    int
@@ -145,6 +167,9 @@ type Report struct {
 	Paths []JobPath
 	// JobErrors carries job_failed detail strings, job order ("" = ok).
 	JobErrors []string
+	// Faults is non-nil only when the event stream contains fault or
+	// mitigation events; fault-free runs render no failure section.
+	Faults *FaultSummary
 }
 
 // Stage returns the attribution row for ref, or nil.
@@ -204,9 +229,31 @@ func Build(ctx Context, events []sim.Event) (*Report, error) {
 	}
 	jobErr := make([]string, len(ctx.Jobs))
 	makespan := 0.0
+	var fs FaultSummary
+	haveFaults := false
 	for _, ev := range events {
 		if ev.T > makespan {
 			makespan = ev.T
+		}
+		// Fault and mitigation events aggregate before the per-job guard:
+		// crashes and blacklistings are cluster-level (Job = -1).
+		switch ev.Kind {
+		case sim.EvTaskRetry:
+			fs.Retries++
+			fs.BackoffSeconds += ev.Delay
+			haveFaults = true
+		case sim.EvNodeCrash:
+			fs.NodeCrashes = append(fs.NodeCrashes, ev.Node)
+			haveFaults = true
+		case sim.EvSpecLaunched:
+			fs.SpecLaunched++
+			haveFaults = true
+		case sim.EvSpecWin:
+			fs.SpecWins++
+			haveFaults = true
+		case sim.EvNodeBlacklisted:
+			fs.Blacklisted = append(fs.Blacklisted, ev.Node)
+			haveFaults = true
 		}
 		if ev.Job < 0 || ev.Job >= len(ctx.Jobs) {
 			continue
@@ -251,6 +298,9 @@ func Build(ctx Context, events []sim.Event) (*Report, error) {
 	sort.Slice(refs, func(i, j int) bool { return refs[i].less(refs[j]) })
 
 	rep := &Report{Alpha: ctx.alpha(), Makespan: makespan, JobErrors: jobErr}
+	if haveFaults {
+		rep.Faults = &fs
+	}
 	rows := map[StageRef]*StageAttr{}
 	var intervals []interval
 	for _, ref := range refs {

@@ -326,3 +326,67 @@ func TestLiveGauges(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultSummary: a chaos run (machine crashes, stragglers, speculation,
+// blacklisting) must produce a failure section whose counters match the
+// engine's own, and a fault-free run must produce none — the report only
+// talks about failures when there were some.
+func TestFaultSummary(t *testing.T) {
+	c := cluster.NewM4LargeCluster(8)
+	job := workload.PaperWorkloads(c, 0.3)["LDA"]
+	inj, err := faults.NewInjector(faults.FaultPlan{
+		Seed: 5, TaskFailureProb: 0.1, StragglerFrac: 0.3, StragglerFactor: 3,
+		NodeMTTF: 500, MTTFHorizon: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &Collector{}
+	res, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1, Faults: inj,
+		MaxAttempts: 10, Speculation: true, BlacklistAfter: 2, Observer: col},
+		[]sim.JobRun{{Job: job}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Build(Context{Cluster: c, Jobs: []*workload.Job{job}}, col.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Faults
+	if f == nil {
+		t.Fatal("chaos run produced no fault summary")
+	}
+	if f.Retries != res.Retries {
+		t.Errorf("retries %d, engine counted %d", f.Retries, res.Retries)
+	}
+	if f.SpecLaunched != res.SpecLaunched || f.SpecWins != res.SpecWins {
+		t.Errorf("speculation %d/%d, engine counted %d/%d",
+			f.SpecLaunched, f.SpecWins, res.SpecLaunched, res.SpecWins)
+	}
+	if len(f.Blacklisted) != res.Blacklisted {
+		t.Errorf("blacklisted %v, engine counted %d", f.Blacklisted, res.Blacklisted)
+	}
+	if f.Retries > 0 && f.BackoffSeconds <= 0 {
+		t.Error("retries happened but no backoff was accumulated")
+	}
+	if !bytes.Contains([]byte(rep.Render()), []byte("failures & mitigation")) {
+		t.Error("rendered report is missing the failure section")
+	}
+
+	// Fault-free control: same workload, no injector.
+	col2 := &Collector{}
+	if _, err := sim.Run(sim.Options{Cluster: c, TrackNode: -1, Observer: col2},
+		[]sim.JobRun{{Job: job}}); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Build(Context{Cluster: c, Jobs: []*workload.Job{job}}, col2.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Faults != nil {
+		t.Errorf("fault-free run produced a fault summary: %+v", rep2.Faults)
+	}
+	if bytes.Contains([]byte(rep2.Render()), []byte("failures & mitigation")) {
+		t.Error("fault-free report renders a failure section")
+	}
+}

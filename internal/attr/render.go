@@ -26,6 +26,22 @@ func (r *Report) Render() string {
 		}
 	}
 
+	if f := r.Faults; f != nil {
+		b.WriteString("\n-- failures & mitigation --\n")
+		fmt.Fprintf(&b, "retries %d (%.2f s of backoff)", f.Retries, f.BackoffSeconds)
+		if len(f.NodeCrashes) > 0 {
+			fmt.Fprintf(&b, "   node crashes %d %v", len(f.NodeCrashes), f.NodeCrashes)
+		}
+		b.WriteString("\n")
+		if f.SpecLaunched > 0 || len(f.Blacklisted) > 0 {
+			fmt.Fprintf(&b, "speculative clones %d launched, %d races decided", f.SpecLaunched, f.SpecWins)
+			if len(f.Blacklisted) > 0 {
+				fmt.Fprintf(&b, "   nodes blacklisted %v", f.Blacklisted)
+			}
+			b.WriteString("\n")
+		}
+	}
+
 	b.WriteString("\n-- stage decomposition (seconds; waits are node-summed) --\n")
 	b.WriteString("stage      ready   submit      end    delay    ideal   actual  net-wait  cpu-wait disk-wait    slack  flags\n")
 	for i := range r.Stages {

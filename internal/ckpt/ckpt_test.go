@@ -1,0 +1,192 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Kind: "sim-snapshot", Version: 1, Fingerprint: 0xdeadbeefcafe, Payload: []byte("hello")},
+		{Kind: "replay-progress", Version: 7, Fingerprint: 0, Payload: nil},
+		{Kind: "x", Version: 0, Fingerprint: ^uint64(0), Payload: bytes.Repeat([]byte{0}, 4096)},
+	}
+	for _, e := range cases {
+		b, err := Encode(e)
+		if err != nil {
+			t.Fatalf("%q: %v", e.Kind, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%q: decode: %v", e.Kind, err)
+		}
+		if got.Kind != e.Kind || got.Version != e.Version ||
+			got.Fingerprint != e.Fingerprint || !bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("%q: round-trip mismatch:\n got %+v\nwant %+v", e.Kind, got, e)
+		}
+	}
+}
+
+// TestGoldenEncoding pins the byte layout: a checkpoint written by this
+// build must stay readable by future builds (and vice versa within one
+// version), so the frame bytes are part of the contract.
+func TestGoldenEncoding(t *testing.T) {
+	e := Envelope{Kind: "t", Version: 2, Fingerprint: 0x0102030405060708, Payload: []byte{0xAA, 0xBB}}
+	b, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "4453434b50543031" + // "DSCKPT01"
+		"01" + "74" + // kind len 1, "t"
+		"02000000" + // version 2 LE
+		"0807060504030201" + // fingerprint LE
+		"0200000000000000" + // payload len 2 LE
+		"aabb" // payload
+	got := hex.EncodeToString(b)
+	if len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("frame bytes changed:\n got %s\nwant %s + crc", got, want)
+	}
+	if len(b) != len(want)/2+8 {
+		t.Fatalf("frame length %d, want %d", len(b), len(want)/2+8)
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := Encode(Envelope{Kind: ""}); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if _, err := Encode(Envelope{Kind: string(make([]byte, 256))}); err == nil {
+		t.Error("256-byte kind accepted")
+	}
+	if _, err := Encode(Envelope{Kind: "a\x00b"}); err == nil {
+		t.Error("NUL in kind accepted")
+	}
+}
+
+// Every truncation prefix and every single-byte corruption of a valid
+// frame must be rejected — a SIGKILL mid-write or a flipped bit must
+// never half-resume.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	e := Envelope{Kind: "sim-snapshot", Version: 3, Fingerprint: 42, Payload: []byte("payload bytes here")}
+	b, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := Decode(b[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(b))
+		} else if !IsFormat(err) {
+			t.Fatalf("truncation to %d bytes: not a FormatError: %v", n, err)
+		}
+	}
+	for i := 0; i < len(b); i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x01
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), b...), 0x00)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestExpect(t *testing.T) {
+	e := Envelope{Kind: "k", Version: 1, Fingerprint: 9}
+	if err := e.Expect("k", 1, 9); err != nil {
+		t.Errorf("matching expect failed: %v", err)
+	}
+	for _, tc := range []struct {
+		k  string
+		v  uint32
+		fp uint64
+	}{
+		{"other", 1, 9}, {"k", 2, 9}, {"k", 1, 10},
+	} {
+		err := e.Expect(tc.k, tc.v, tc.fp)
+		if err == nil {
+			t.Errorf("Expect(%q,%d,%d) accepted a mismatch", tc.k, tc.v, tc.fp)
+		} else if !IsFormat(err) {
+			t.Errorf("Expect mismatch is not a FormatError: %v", err)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	e := Envelope{Kind: "sim-snapshot", Version: 1, Fingerprint: 77, Payload: []byte("state")}
+	if err := WriteFile(path, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("file round-trip mismatch: %+v vs %+v", got, e)
+	}
+	// Overwrite is atomic-by-rename: after a second write the file decodes
+	// as exactly the second envelope, and no temp litter remains.
+	e2 := Envelope{Kind: "sim-snapshot", Version: 1, Fingerprint: 77, Payload: []byte("newer state")}
+	if err := WriteFile(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, e2.Payload) {
+		t.Fatalf("overwrite left stale payload %q", got.Payload)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files leaked: %v", ents)
+	}
+	// A truncated file on disk reads back as a FormatError carrying the path.
+	if err := os.WriteFile(path, []byte("DSCKPT01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !IsFormat(err) {
+		t.Fatalf("corrupt file: err = %v, want FormatError", err)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: err = %v, want not-exist", err)
+	}
+}
+
+// FuzzDecode: arbitrary bytes must never panic, and every frame that
+// decodes must re-encode to the identical bytes (the format has exactly
+// one encoding per envelope).
+func FuzzDecode(f *testing.F) {
+	seed := Envelope{Kind: "sim-snapshot", Version: 1, Fingerprint: 42, Payload: []byte("seed")}
+	if b, err := Encode(seed); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)-3])
+		mut := append([]byte(nil), b...)
+		mut[9] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		e, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re, err := Encode(e)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encode differs:\n in  %x\n out %x", b, re)
+		}
+	})
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -86,6 +87,14 @@ type Options struct {
 	// schedule is bit-identical to the sequential scan at any setting.
 	// Zero or one means sequential.
 	Parallelism int
+	// Ctx cancels the computation: once it is done, Compute stops handing
+	// out work, joins every scan goroutine it started and returns
+	// Ctx.Err(). In-flight candidate evaluations run to completion (the
+	// evaluators are not interruptible), so cancellation is prompt but not
+	// instant — and nothing leaks. Nil means never cancelled. Unlike a
+	// spent Budget, cancellation is an error, not a degraded schedule:
+	// the caller asked for no answer at all.
+	Ctx context.Context
 	// DisableEvalCache turns off the sim evaluator's what-if memo cache
 	// and snapshot forking: every candidate is answered by a from-scratch
 	// simulation, as Alg. 1 is written. Schedules are identical either way
@@ -179,6 +188,9 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 	}
 	if opt.MaxCandidates <= 0 {
 		opt.MaxCandidates = 64
+	}
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
 	}
 
 	reach, err := dag.NewReachability(job.Graph)
@@ -349,6 +361,9 @@ var errBudget = fmt.Errorf("core: compute budget exceeded")
 // deadline makes the scan abort with errBudget once passed.
 func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 	kid dag.StageID, tmax float64, opt Options, globalBest *float64, deadline time.Time) error {
+	if err := opt.Ctx.Err(); err != nil {
+		return err
+	}
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return errBudget
 	}
@@ -386,7 +401,7 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 		// comparison sequentially in candidate order — the same floats
 		// compared in the same order as the sequential loop below, so the
 		// chosen delay (ties included) is bit-identical.
-		mks, evals, err := scanParallel(ev, sched.Delays, kid, incumbent, had, cands, opt.Parallelism, deadline)
+		mks, evals, err := scanParallel(opt.Ctx, ev, sched.Delays, kid, incumbent, had, cands, opt.Parallelism, deadline)
 		if err != nil {
 			return err
 		}
@@ -405,8 +420,13 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 			if x == incumbent && had {
 				continue // already measured as base
 			}
-			if !deadline.IsZero() && ci%8 == 0 && time.Now().After(deadline) {
-				return errBudget
+			if ci%8 == 0 {
+				if err := opt.Ctx.Err(); err != nil {
+					return err
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return errBudget
+				}
 			}
 			sched.Delays[kid] = x
 			mk, err := ev.Makespan(sched.Delays)
@@ -436,8 +456,11 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 // copy of the delay map. It returns the per-candidate makespans (indexed
 // like cands) and how many evaluations ran. Work is handed out by an
 // atomic counter; any worker error stops the scan, and a spent deadline
-// surfaces as errBudget exactly as in the sequential loop.
-func scanParallel(ev Evaluator, delays map[dag.StageID]float64, kid dag.StageID,
+// surfaces as errBudget exactly as in the sequential loop. A cancelled
+// ctx stops every worker before its next candidate and surfaces as
+// ctx.Err(); the WaitGroup join below means no goroutine outlives the
+// call either way.
+func scanParallel(ctx context.Context, ev Evaluator, delays map[dag.StageID]float64, kid dag.StageID,
 	incumbent float64, had bool, cands []float64, workers int, deadline time.Time) ([]float64, int, error) {
 	if workers > len(cands) {
 		workers = len(cands)
@@ -465,6 +488,11 @@ func scanParallel(ev Evaluator, delays map[dag.StageID]float64, kid dag.StageID,
 				x := cands[ci]
 				if x == incumbent && had {
 					continue // already measured as base
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
 				}
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					errs[w] = errBudget

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"math/rand"
 
 	"delaystage/internal/faults"
@@ -23,9 +24,30 @@ type FaultPoint struct {
 	JCT map[string]map[string]float64
 }
 
+// MachinePoint is one cell of the machine-level sweep: hash-based node
+// crashes (an MTTF process), persistently slow machines, and the
+// mitigation stack (speculation + blacklisting) off or on. The same
+// injector seed is used for both mitigation settings, so each on/off pair
+// faces the identical fault draws.
+type MachinePoint struct {
+	// MTTFFrac expresses NodeMTTF as a multiple of the workload's
+	// fault-free Spark JCT (0 = no MTTF crash process), keeping the
+	// expected crash count invariant under cfg.Scale.
+	MTTFFrac       float64
+	SlowNodeFrac   float64
+	SlowNodeFactor float64
+	Mitigation     bool
+	// JCT[workload][strategy] in seconds; +Inf marks a job that exhausted
+	// its retry budget and failed.
+	JCT map[string]map[string]float64
+}
+
 // FaultSweepResult is the full grid.
 type FaultSweepResult struct {
 	Points []FaultPoint
+	// MachinePoints is the machine-level axis: MTTF crashes × slow
+	// machines × mitigation on/off.
+	MachinePoints []MachinePoint
 	// MispredictNoise is the planning-time profile error applied to the
 	// DelayStage variants (spark plans nothing, so it is immune).
 	MispredictNoise float64
@@ -176,5 +198,98 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 		}
 		out.Points = append(out.Points, pt)
 	}
+
+	// Machine-level axis: whole machines die on a hash-based MTTF process
+	// or run persistently slow, with the mitigation stack off and on. The
+	// horizon is capped well below the run's length: an open-ended crash
+	// process feeds back through blacklisting (longer run → more crashes →
+	// fewer nodes → longer run) and measures the feedback loop, not the
+	// scheduler.
+	fprintf(cfg.W, "MACHINE sweep: node crashes (MTTF) and slow machines; mitigation = speculation + blacklisting\n")
+	fprintf(cfg.W, "%-26s %-10s %-10s %-10s %-10s\n", "point / workload", "spark", "delaystage", "guarded", "guard-win%")
+	mrows := make([]map[string]float64, len(machineSweepGrid)*2*len(workloadNames))
+	err = cfg.forEach(len(mrows), func(ci int) error {
+		pi := ci / (2 * len(workloadNames))
+		mitigate := ci/len(workloadNames)%2 == 1
+		g := machineSweepGrid[pi]
+		name := workloadNames[ci%len(workloadNames)]
+		pl := plans[name]
+		row := map[string]float64{}
+		for _, label := range []string{"spark", "delaystage", "guarded"} {
+			// One seed per (point, workload): the on/off mitigation pair
+			// and all three strategies face identical fault draws.
+			inj, err := faults.NewInjector(faults.FaultPlan{
+				Seed:           cfg.Seed + int64(pi)*211 + 7,
+				NodeMTTF:       g.mttfFrac * cleanJCT[name],
+				MTTFHorizon:    0.35 * cleanJCT[name],
+				SlowNodeFrac:   g.slowFrac,
+				SlowNodeFactor: g.slowFactor,
+			})
+			if err != nil {
+				return err
+			}
+			opt := sim.Options{Cluster: c, TrackNode: -1, Faults: inj, MaxAttempts: 8}
+			if mitigate {
+				opt.Speculation = true
+				opt.BlacklistAfter = 2
+			}
+			run := sim.JobRun{Job: jobs[name]}
+			switch label {
+			case "delaystage":
+				run.Delays = pl.ds.Delays
+			case "guarded":
+				run.Delays = pl.ds.Delays
+				if pl.primer != nil {
+					opt.Watchdog = pl.primer.Watchdog()
+				}
+			}
+			res, err := sim.Run(opt, []sim.JobRun{run})
+			if err != nil {
+				return err
+			}
+			if res.Failed(0) != nil {
+				// A job that exhausted its retry budget is a data point,
+				// not an experiment error: machines died under it.
+				row[label] = math.Inf(1)
+				continue
+			}
+			row[label] = res.JCT(0)
+		}
+		mrows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, g := range machineSweepGrid {
+		for half, mitigate := range []bool{false, true} {
+			mit := "off"
+			if mitigate {
+				mit = "on"
+			}
+			pt := MachinePoint{MTTFFrac: g.mttfFrac, SlowNodeFrac: g.slowFrac,
+				SlowNodeFactor: g.slowFactor, Mitigation: mitigate,
+				JCT: map[string]map[string]float64{}}
+			fprintf(cfg.W, "mttf=%.1fxJCT slow=%.2fx%g mitigation=%s\n", g.mttfFrac, g.slowFrac, g.slowFactor, mit)
+			for wi, name := range workloadNames {
+				row := mrows[(pi*2+half)*len(workloadNames)+wi]
+				pt.JCT[name] = row
+				win := 100 * (row["spark"] - row["guarded"]) / row["spark"]
+				fprintf(cfg.W, "  %-24s %-10.1f %-10.1f %-10.1f %+.1f\n",
+					name, row["spark"], row["delaystage"], row["guarded"], win)
+			}
+			out.MachinePoints = append(out.MachinePoints, pt)
+		}
+	}
 	return out, nil
+}
+
+// machineSweepGrid is the machine-level severity grid; each point runs
+// with mitigation off and on.
+var machineSweepGrid = []struct {
+	mttfFrac, slowFrac, slowFactor float64
+}{
+	{1.5, 0, 1},
+	{0, 0.25, 3},
+	{1.5, 0.25, 3},
 }

@@ -42,6 +42,46 @@ func TestFaultSweep(t *testing.T) {
 	if !strings.Contains(sb.String(), "FAULT sweep") {
 		t.Error("sweep rendered no output")
 	}
+
+	// Machine axis: every (grid point × mitigation) cell is present with
+	// positive JCTs (+Inf marks a failed job, never 0 or negative). The
+	// never-worse bar is deliberately NOT asserted here: a machine crash
+	// landing after every delayed stage has submitted leaves the guard
+	// nothing to revise, and the in-flight work lost at that instant is a
+	// coin flip between strategies.
+	if len(r.MachinePoints) != 2*len(machineSweepGrid) {
+		t.Fatalf("got %d machine points, want %d", len(r.MachinePoints), 2*len(machineSweepGrid))
+	}
+	for _, p := range r.MachinePoints {
+		for wl, row := range p.JCT {
+			for _, label := range []string{"spark", "delaystage", "guarded"} {
+				if !(row[label] > 0) {
+					t.Fatalf("mttf=%.1f slow=%.2f mit=%v %s: non-positive %s JCT %+v",
+						p.MTTFFrac, p.SlowNodeFrac, p.Mitigation, wl, label, row)
+				}
+			}
+		}
+	}
+	// The mitigation stack's designed effect: at the pure slow-machine
+	// point, speculation re-runs the straggling partitions elsewhere and
+	// must cut stock Spark's total JCT.
+	for i := 0; i+1 < len(r.MachinePoints); i += 2 {
+		off, on := r.MachinePoints[i], r.MachinePoints[i+1]
+		if off.MTTFFrac != 0 || off.SlowNodeFrac == 0 {
+			continue
+		}
+		var offSum, onSum float64
+		for _, wl := range workloadNames {
+			offSum += off.JCT[wl]["spark"]
+			onSum += on.JCT[wl]["spark"]
+		}
+		if !(onSum < offSum) {
+			t.Errorf("slow-machine point: mitigation did not help spark (%.1f on vs %.1f off)", onSum, offSum)
+		}
+	}
+	if !strings.Contains(sb.String(), "MACHINE sweep") {
+		t.Error("machine sweep rendered no output")
+	}
 }
 
 func BenchmarkFaultSweep(b *testing.B) {

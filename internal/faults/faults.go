@@ -35,6 +35,15 @@ type NodeCrash struct {
 	At   float64
 }
 
+// RackCrash schedules a correlated outage: every node of one rack is
+// lost at the same instant (a top-of-rack switch or PDU failure). Racks
+// partition the cluster into consecutive index ranges of RackSize nodes:
+// rack r covers nodes [r·RackSize, (r+1)·RackSize).
+type RackCrash struct {
+	Rack int
+	At   float64
+}
+
 // FaultPlan describes the perturbations of one run. The zero value is the
 // perfect world: a simulator driven by a zero plan behaves bit-identically
 // to one with no injector at all (pay-for-what-you-use).
@@ -53,6 +62,30 @@ type FaultPlan struct {
 	MispredictNoise float64
 	// Crashes lists scheduled node losses.
 	Crashes []NodeCrash
+
+	// Machine-level failure domains.
+	//
+	// SlowNodeFrac is the fraction of machines that are persistently
+	// degraded (bad disk, thermal throttling, noisy neighbour): every
+	// phase on a slow node — network read, compute, disk write — runs
+	// SlowNodeFactor (≥1) times slower, across all jobs and stages.
+	// Unlike StragglerFrac (drawn per stage-partition), this is drawn
+	// once per machine.
+	SlowNodeFrac   float64
+	SlowNodeFactor float64
+	// NodeMTTF, when positive, draws random node crashes: each node's
+	// inter-crash gaps are exponential with mean NodeMTTF seconds,
+	// hash-derived from the seed (the same plan always crashes the same
+	// nodes at the same times). Draws cover [0, MTTFHorizon], which must
+	// be positive when NodeMTTF is set — the injector cannot know the
+	// run's length.
+	NodeMTTF    float64
+	MTTFHorizon float64
+	// RackCrashes lists correlated rack outages; RackSize (required > 0
+	// when any are present) is the number of consecutive node indices
+	// per rack.
+	RackSize    int
+	RackCrashes []RackCrash
 }
 
 // Validate rejects plans the simulator cannot honour.
@@ -77,13 +110,37 @@ func (p FaultPlan) Validate() error {
 			return fmt.Errorf("faults: crash at invalid time %v", c.At)
 		}
 	}
+	if p.SlowNodeFrac < 0 || p.SlowNodeFrac > 1 || math.IsNaN(p.SlowNodeFrac) {
+		return fmt.Errorf("faults: slow-node fraction %v outside [0,1]", p.SlowNodeFrac)
+	}
+	if p.SlowNodeFrac > 0 && (p.SlowNodeFactor < 1 || math.IsNaN(p.SlowNodeFactor)) {
+		return fmt.Errorf("faults: slow-node factor %v must be ≥1", p.SlowNodeFactor)
+	}
+	if p.NodeMTTF < 0 || math.IsNaN(p.NodeMTTF) || math.IsInf(p.NodeMTTF, 0) {
+		return fmt.Errorf("faults: node MTTF %v must be ≥0", p.NodeMTTF)
+	}
+	if p.NodeMTTF > 0 && (p.MTTFHorizon <= 0 || math.IsNaN(p.MTTFHorizon) || math.IsInf(p.MTTFHorizon, 0)) {
+		return fmt.Errorf("faults: node MTTF set but horizon %v is not positive", p.MTTFHorizon)
+	}
+	if len(p.RackCrashes) > 0 && p.RackSize <= 0 {
+		return fmt.Errorf("faults: rack crashes scheduled but rack size %d is not positive", p.RackSize)
+	}
+	for _, rc := range p.RackCrashes {
+		if rc.Rack < 0 {
+			return fmt.Errorf("faults: crash of negative rack %d", rc.Rack)
+		}
+		if rc.At < 0 || math.IsNaN(rc.At) || math.IsInf(rc.At, 0) {
+			return fmt.Errorf("faults: rack crash at invalid time %v", rc.At)
+		}
+	}
 	return nil
 }
 
 // Zero reports whether the plan injects nothing.
 func (p FaultPlan) Zero() bool {
 	return p.TaskFailureProb == 0 && p.StragglerFrac == 0 &&
-		p.MispredictNoise == 0 && len(p.Crashes) == 0
+		p.MispredictNoise == 0 && len(p.Crashes) == 0 &&
+		p.SlowNodeFrac == 0 && p.NodeMTTF == 0 && len(p.RackCrashes) == 0
 }
 
 // Injector emits reproducible fault events for one run.
@@ -102,11 +159,74 @@ func NewInjector(plan FaultPlan) (*Injector, error) {
 // Plan returns the plan the injector was built from.
 func (in *Injector) Plan() FaultPlan { return in.plan }
 
-// Crashes returns the scheduled node crashes in time order.
+// Crashes returns the explicitly scheduled node crashes in time order.
+// It excludes the machine-level domains (rack crashes, MTTF draws),
+// whose expansion needs the cluster size — see CrashEvents.
 func (in *Injector) Crashes() []NodeCrash {
 	out := append([]NodeCrash(nil), in.plan.Crashes...)
 	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
+}
+
+// mttfDrawCap bounds the crash draws per node: a pathologically small
+// MTTF against a long horizon must not expand into millions of timers.
+const mttfDrawCap = 64
+
+// CrashEvents expands every failure domain of the plan into concrete
+// per-node crash events for a cluster of the given size, sorted by
+// (time, node): the explicit Crashes list, each RackCrash unrolled over
+// its RackSize consecutive nodes (clamped to the cluster), and — when
+// NodeMTTF is set — per-node crash times with exponential inter-crash
+// gaps of mean NodeMTTF over [0, MTTFHorizon]. All MTTF draws are
+// hash-based on (seed, draw index, node), so the failure set is a pure
+// function of the plan, independent of schedule and cluster activity.
+func (in *Injector) CrashEvents(nodes int) []NodeCrash {
+	p := in.plan
+	out := append([]NodeCrash(nil), p.Crashes...)
+	for _, rc := range p.RackCrashes {
+		lo := rc.Rack * p.RackSize
+		hi := lo + p.RackSize
+		if hi > nodes {
+			hi = nodes
+		}
+		for w := lo; w < hi; w++ {
+			out = append(out, NodeCrash{Node: w, At: rc.At})
+		}
+	}
+	if p.NodeMTTF > 0 {
+		for w := 0; w < nodes; w++ {
+			t := 0.0
+			for k := 0; k < mttfDrawCap; k++ {
+				u := in.u01(kindNodeCrash, 0, k, w, 0)
+				t += -p.NodeMTTF * math.Log1p(-u)
+				if t > p.MTTFHorizon {
+					break
+				}
+				out = append(out, NodeCrash{Node: w, At: t})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// NodeSlowdown returns the persistent rate degradation of one machine
+// (1 = healthy): SlowNodeFactor with probability SlowNodeFrac, drawn
+// once per node index. Every phase on a slow node — read, compute,
+// write — runs this factor slower.
+func (in *Injector) NodeSlowdown(node int) float64 {
+	if in == nil || in.plan.SlowNodeFrac == 0 {
+		return 1
+	}
+	if in.u01(kindSlowNode, 0, 0, node, 0) >= in.plan.SlowNodeFrac {
+		return 1
+	}
+	return in.plan.SlowNodeFactor
 }
 
 // Draw kinds — mixed into the hash so the failure, fail-point and
@@ -115,6 +235,8 @@ const (
 	kindTaskFail = iota + 1
 	kindFailPoint
 	kindStraggle
+	kindSlowNode
+	kindNodeCrash
 )
 
 // splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.

@@ -18,6 +18,14 @@ func TestValidate(t *testing.T) {
 		{MispredictNoise: 1},
 		{Crashes: []NodeCrash{{Node: -1, At: 5}}},
 		{Crashes: []NodeCrash{{Node: 0, At: math.Inf(1)}}},
+		{SlowNodeFrac: 1.5},
+		{SlowNodeFrac: 0.2, SlowNodeFactor: 0.5},
+		{NodeMTTF: -1},
+		{NodeMTTF: 100}, // horizon missing
+		{NodeMTTF: 100, MTTFHorizon: math.Inf(1)},
+		{RackCrashes: []RackCrash{{Rack: 0, At: 5}}}, // rack size missing
+		{RackSize: 4, RackCrashes: []RackCrash{{Rack: -1, At: 5}}},
+		{RackSize: 4, RackCrashes: []RackCrash{{Rack: 0, At: math.NaN()}}},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -128,6 +136,89 @@ func TestStragglerFraction(t *testing.T) {
 	frac := float64(slow) / float64(n)
 	if frac < 0.20 || frac > 0.30 {
 		t.Fatalf("empirical straggler fraction %.3f far from configured 0.25", frac)
+	}
+}
+
+func TestNodeSlowdown(t *testing.T) {
+	in, _ := NewInjector(FaultPlan{Seed: 11, SlowNodeFrac: 0.3, SlowNodeFactor: 2})
+	slow := 0
+	const n = 2000
+	for w := 0; w < n; w++ {
+		f := in.NodeSlowdown(w)
+		if f != 1 && f != 2 {
+			t.Fatalf("node slowdown %v is neither 1 nor 2", f)
+		}
+		if f != in.NodeSlowdown(w) {
+			t.Fatal("node slowdown not deterministic")
+		}
+		if f > 1 {
+			slow++
+		}
+	}
+	frac := float64(slow) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("empirical slow-node fraction %.3f far from configured 0.3", frac)
+	}
+	var nilInj *Injector
+	if nilInj.NodeSlowdown(0) != 1 {
+		t.Fatal("nil injector slows nodes")
+	}
+	zero, _ := NewInjector(FaultPlan{Seed: 11})
+	if zero.NodeSlowdown(0) != 1 {
+		t.Fatal("zero plan slows nodes")
+	}
+}
+
+func TestCrashEvents(t *testing.T) {
+	// Explicit crashes + a rack outage clamped at the cluster edge.
+	in, _ := NewInjector(FaultPlan{
+		Crashes:     []NodeCrash{{Node: 1, At: 50}},
+		RackSize:    4,
+		RackCrashes: []RackCrash{{Rack: 1, At: 20}},
+	})
+	got := in.CrashEvents(6) // rack 1 = nodes 4..7, clamped to 4,5
+	want := []NodeCrash{{Node: 4, At: 20}, {Node: 5, At: 20}, {Node: 1, At: 50}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d crash events %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// MTTF draws: deterministic, within the horizon, and roughly one
+	// crash per MTTF of horizon per node.
+	plan := FaultPlan{Seed: 3, NodeMTTF: 100, MTTFHorizon: 1000}
+	a, _ := NewInjector(plan)
+	b, _ := NewInjector(plan)
+	ea, eb := a.CrashEvents(50), b.CrashEvents(50)
+	if len(ea) == 0 {
+		t.Fatal("MTTF plan drew no crashes")
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("same plan drew %d vs %d crashes", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("MTTF crash draws not deterministic")
+		}
+		if ea[i].At < 0 || ea[i].At > 1000 {
+			t.Fatalf("crash at %v outside horizon", ea[i].At)
+		}
+		if i > 0 && ea[i].At < ea[i-1].At {
+			t.Fatal("crash events not time-sorted")
+		}
+	}
+	// 50 nodes × horizon/MTTF = 10 expected crashes each → ~500 total.
+	if n := len(ea); n < 300 || n > 700 {
+		t.Fatalf("got %d MTTF crashes, expected around 500", n)
+	}
+
+	// A zero plan expands to nothing.
+	z, _ := NewInjector(FaultPlan{Seed: 3})
+	if ev := z.CrashEvents(10); len(ev) != 0 {
+		t.Fatalf("zero plan expanded to %d crash events", len(ev))
 	}
 }
 

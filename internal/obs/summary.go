@@ -45,6 +45,11 @@ type RunSummary struct {
 	AvgNetRateBps   float64   `json:"avg_net_rate_bps"`
 	SimEvents       int       `json:"sim_events"`
 	Retries         int       `json:"retries"`
+	// Mitigation counters; omitted when the run had speculation and
+	// blacklisting off (the schema-stable zero).
+	SpecLaunched int `json:"spec_launched,omitempty"`
+	SpecWins     int `json:"spec_wins,omitempty"`
+	Blacklisted  int `json:"blacklisted_nodes,omitempty"`
 	// JobErrors[i] is the failure text of job i, or "" if it completed.
 	JobErrors []string       `json:"job_errors,omitempty"`
 	Stages    []StageSummary `json:"stages"`
@@ -62,6 +67,9 @@ func NewRunSummary(res *sim.Result) *RunSummary {
 		AvgNetRateBps:   res.AvgNetRate,
 		SimEvents:       res.Events,
 		Retries:         res.Retries,
+		SpecLaunched:    res.SpecLaunched,
+		SpecWins:        res.SpecWins,
+		Blacklisted:     res.Blacklisted,
 	}
 	for i := range res.JobEnd {
 		s.JCTSeconds = append(s.JCTSeconds, res.JCT(i))

@@ -1,7 +1,10 @@
 package scheduler
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -105,6 +108,9 @@ type GuardPrimer struct {
 	// slowdown scale (float bits). Budget-exceeded and failed replans are
 	// never cached: they depend on wall-clock, not on the scale.
 	replans map[uint64]map[dag.StageID]float64
+	// crashReplans caches degraded-capacity replans, keyed by the exact
+	// (slowdown scale, surviving-node set) pair.
+	crashReplans map[string]map[dag.StageID]float64
 }
 
 // Primer precomputes the shared watchdog state for an existing plan.
@@ -127,12 +133,13 @@ func (g GuardedDelayStage) Primer(c *cluster.Cluster, job *workload.Job, plan Pl
 		return nil, err
 	}
 	p := &GuardPrimer{
-		g:       g,
-		cluster: c,
-		job:     job,
-		delays:  make(map[dag.StageID]float64, len(plan.Delays)),
-		pred:    make(map[dag.StageID]sim.StageTimeline, len(pred.Timelines)),
-		replans: map[uint64]map[dag.StageID]float64{},
+		g:            g,
+		cluster:      c,
+		job:          job,
+		delays:       make(map[dag.StageID]float64, len(plan.Delays)),
+		pred:         make(map[dag.StageID]sim.StageTimeline, len(pred.Timelines)),
+		replans:      map[uint64]map[dag.StageID]float64{},
+		crashReplans: map[string]map[dag.StageID]float64{},
 	}
 	for id, d := range plan.Delays {
 		p.delays[id] = d
@@ -145,7 +152,9 @@ func (g GuardedDelayStage) Primer(c *cluster.Cluster, job *workload.Job, plan Pl
 
 // Watchdog returns a fresh stateful guard backed by the primer. Safe to
 // call from concurrent sweep cells: the guards share only the immutable
-// predictions and the mutex-protected replan cache.
+// predictions and the mutex-protected replan cache. The guard assumes it
+// watches job index 0 (the single-job case); multi-job runners rebind it
+// via bindJob.
 func (p *GuardPrimer) Watchdog() sim.Watchdog {
 	return &guard{
 		mode:   p.g.Mode,
@@ -171,6 +180,21 @@ func (p *GuardPrimer) storeReplan(bits uint64, d map[dag.StageID]float64) {
 	p.replans[bits] = d
 }
 
+// cachedCrashReplan / storeCrashReplan memoize degraded-capacity replans
+// by (scale, surviving-node set).
+func (p *GuardPrimer) cachedCrashReplan(key string) (map[dag.StageID]float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.crashReplans[key]
+	return d, ok
+}
+
+func (p *GuardPrimer) storeCrashReplan(key string, d map[dag.StageID]float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashReplans[key] = d
+}
+
 // guard is the runtime watchdog of one job's plan. The simulator calls it
 // synchronously from the event loop, so the per-run state needs no
 // locking; delays and pred are the primer's shared maps, read-only here.
@@ -182,11 +206,20 @@ type guard struct {
 	delays map[dag.StageID]float64
 	pred   map[dag.StageID]sim.StageTimeline
 
+	// job is the run index this guard watches — needed for cluster-level
+	// events (node crashes) that carry no job of their own. Zero for
+	// single-job runs; RunJobs rebinds it per job via bindJob.
+	job int
+
 	done      bool
 	completed map[dag.StageID]bool
 	obsDur    float64 // Σ observed stage execution times (End − Start)
 	predDur   float64 // Σ predicted, over the same stages
+	lost      map[int]bool
 }
+
+// bindJob tells the guard which run index it watches (see jobBinder).
+func (g *guard) bindJob(job int) { g.job = job }
 
 // StageReadCompleted implements sim.Watchdog: the shuffle read is the
 // first phase whose end can be checked against the plan — catching a
@@ -252,6 +285,66 @@ func (g *guard) TaskRetried(job int, _ dag.StageID, _, _ int, _ float64) []sim.D
 	return g.cancel(job)
 }
 
+// NodeCrashed implements sim.CrashWatcher: losing a machine voids the
+// plan's capacity premises. GuardCancel degrades to submit-when-ready;
+// GuardReplan re-runs Alg. 1 against the surviving nodes only, so the
+// remaining delays fit the cluster that actually exists. Unlike the
+// timing checks this is not one-shot: every further crash shrinks the
+// cluster again and re-triggers the replan.
+func (g *guard) NodeCrashed(node int, _ float64) []sim.DelayUpdate {
+	if g.lost == nil {
+		g.lost = map[int]bool{}
+	}
+	g.lost[node] = true
+	if g.mode == GuardCancel {
+		if g.done {
+			return nil
+		}
+		g.done = true
+		return g.cancel(g.job)
+	}
+	g.done = true
+	return g.replanDegraded(g.job)
+}
+
+// replanDegraded reruns Alg. 1 on the surviving nodes (profiles rescaled
+// by any observed slowdown), memoized by the exact (scale, survivors)
+// pair. Losing everything — or failing to replan in budget — degrades to
+// cancel.
+func (g *guard) replanDegraded(job int) []sim.DelayUpdate {
+	scale := 1.0
+	if g.predDur > 1e-9 && g.obsDur > 1e-9 {
+		scale = g.obsDur / g.predDur
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return g.cancel(job)
+	}
+	full := g.primer.cluster
+	degraded := &cluster.Cluster{}
+	var key strings.Builder
+	fmt.Fprintf(&key, "%x:", math.Float64bits(scale))
+	for i, n := range full.Nodes {
+		if g.lost[i] {
+			continue
+		}
+		degraded.Nodes = append(degraded.Nodes, n)
+		fmt.Fprintf(&key, "%d,", i)
+	}
+	if len(degraded.Nodes) == 0 {
+		return g.cancel(job)
+	}
+	newDelays, ok := g.primer.cachedCrashReplan(key.String())
+	if !ok {
+		var err error
+		newDelays, err = g.primer.compute(degraded, scale, g.budget)
+		if err != nil {
+			return g.cancel(job)
+		}
+		g.primer.storeCrashReplan(key.String(), newDelays)
+	}
+	return g.reviseTo(job, newDelays)
+}
+
 // cancel zeroes every planned delay (the engine ignores updates for
 // already-submitted stages).
 func (g *guard) cancel(job int) []sim.DelayUpdate {
@@ -281,32 +374,58 @@ func (g *guard) replan(job int) []sim.DelayUpdate {
 	bits := math.Float64bits(scale)
 	newDelays, ok := g.primer.cachedReplan(bits)
 	if !ok {
-		scaled := g.primer.job.Clone()
-		for _, id := range scaled.Graph.Stages() {
-			p := scaled.Profiles[id]
-			p.ProcRate /= scale
-			scaled.Profiles[id] = p
-		}
-		inner := g.primer.g.DelayStage
-		s, err := core.Compute(core.Options{
-			Cluster:           g.primer.cluster,
-			Order:             inner.Order,
-			Seed:              inner.Seed,
-			UseModelEvaluator: inner.UseModelEvaluator,
-			SlotSeconds:       inner.SlotSeconds,
-			MaxCandidates:     inner.MaxCandidates,
-			Parallelism:       inner.Parallelism,
-			DisableEvalCache:  inner.DisableEvalCache,
-			Budget:            g.budget,
-		}, scaled)
-		if err != nil || s.BudgetExceeded {
+		var err error
+		newDelays, err = g.primer.compute(g.primer.cluster, scale, g.budget)
+		if err != nil {
 			return g.cancel(job)
 		}
-		newDelays = s.Delays
 		g.primer.storeReplan(bits, newDelays)
 	}
-	// Revise every stage the old or new plan delays; completed stages
-	// are skipped (and submitted ones ignored by the engine anyway).
+	return g.reviseTo(job, newDelays)
+}
+
+// compute reruns Alg. 1 on the given cluster with profiles rescaled by
+// the observed slowdown, under the wall-clock budget. Budget misses are
+// errors (callers degrade to cancel and never cache them — they depend
+// on the machine's momentary load). The budget doubles as a context
+// deadline so a replan that overruns is cancelled — its parallel scan
+// goroutines are stopped and joined, not abandoned.
+func (p *GuardPrimer) compute(c *cluster.Cluster, scale float64, budget time.Duration) (map[dag.StageID]float64, error) {
+	scaled := p.job.Clone()
+	if scale != 1 {
+		for _, id := range scaled.Graph.Stages() {
+			pr := scaled.Profiles[id]
+			pr.ProcRate /= scale
+			scaled.Profiles[id] = pr
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	inner := p.g.DelayStage
+	s, err := core.Compute(core.Options{
+		Ctx:               ctx,
+		Cluster:           c,
+		Order:             inner.Order,
+		Seed:              inner.Seed,
+		UseModelEvaluator: inner.UseModelEvaluator,
+		SlotSeconds:       inner.SlotSeconds,
+		MaxCandidates:     inner.MaxCandidates,
+		Parallelism:       inner.Parallelism,
+		DisableEvalCache:  inner.DisableEvalCache,
+		Budget:            budget,
+	}, scaled)
+	if err != nil {
+		return nil, err
+	}
+	if s.BudgetExceeded {
+		return nil, fmt.Errorf("scheduler: replan budget %v exceeded", budget)
+	}
+	return s.Delays, nil
+}
+
+// reviseTo revises every stage the old or new plan delays; completed
+// stages are skipped (and submitted ones ignored by the engine anyway).
+func (g *guard) reviseTo(job int, newDelays map[dag.StageID]float64) []sim.DelayUpdate {
 	union := make(map[dag.StageID]float64, len(g.delays))
 	for id := range g.delays {
 		union[id] = newDelays[id]

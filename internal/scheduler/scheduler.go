@@ -153,6 +153,9 @@ func RunJobs(c *cluster.Cluster, jobs []*workload.Job, arrivals []float64, s Str
 			opt.AggShuffle = true
 		}
 		if plan.Watchdog != nil {
+			if b, ok := plan.Watchdog.(jobBinder); ok {
+				b.bindJob(i)
+			}
 			guards[i] = plan.Watchdog
 		}
 		runs[i] = sim.JobRun{Job: j, Arrival: arrivals[i], Delays: plan.Delays}
@@ -191,6 +194,28 @@ func (m muxWatchdog) TaskRetried(job int, stage dag.StageID, node, attempt int, 
 	}
 	return nil
 }
+
+// NodeCrashed implements sim.CrashWatcher: a machine loss is cluster-wide,
+// so it fans out to every per-job guard that watches for crashes, in job
+// order for deterministic update emission.
+func (m muxWatchdog) NodeCrashed(node int, now float64) []sim.DelayUpdate {
+	jobs := make([]int, 0, len(m))
+	for j := range m {
+		jobs = append(jobs, j)
+	}
+	sort.Ints(jobs)
+	var out []sim.DelayUpdate
+	for _, j := range jobs {
+		if cw, ok := m[j].(sim.CrashWatcher); ok {
+			out = append(out, cw.NodeCrashed(node, now)...)
+		}
+	}
+	return out
+}
+
+// jobBinder lets multi-job runners tell a per-job watchdog which run index
+// it watches — needed for cluster-level events that carry no job.
+type jobBinder interface{ bindJob(job int) }
 
 // sortedStageIDs returns a delay map's keys in ascending order, for
 // deterministic update emission.

@@ -43,9 +43,14 @@ type skey struct {
 
 // item is one fluid work unit: a phase of one stage's partition on one node.
 type item struct {
-	key  skey
-	st   *stageState // owning stage, avoiding a states-map lookup per touch
-	node int         // index into engine.nodes
+	key skey
+	st  *stageState // owning stage, avoiding a states-map lookup per touch
+	// home is the logical partition index (which of the stage's N
+	// partitions this is); node is the machine executing it. They are
+	// equal unless blacklisting rerouted the work. Lifecycle bookkeeping
+	// (readsLeft etc.) counts homes; machine-level faults hit nodes.
+	home int
+	node int // index into engine.nodes
 	ph   phase
 
 	remaining float64 // bytes left
@@ -70,6 +75,16 @@ type item struct {
 	failAt    float64
 	slow      float64
 	recompute bool
+
+	// Speculation: spec marks a clone; rival links the two racing twins
+	// (original ↔ clone); cancelled marks the loser of a decided race —
+	// it is unlinked immediately, the flag only shields the already-
+	// collected done/dead batch entry from firing transitions. startAt
+	// is the item's creation time (progress projection baseline).
+	spec      bool
+	rival     *item
+	cancelled bool
+	startAt   float64
 }
 
 // stageState tracks one (job, stage) through its lifecycle.
@@ -104,6 +119,11 @@ type stageState struct {
 
 	// retries counts failed partition attempts (faults only).
 	retries int
+	// compDurs records finished compute-partition durations and specDone
+	// the partitions already cloned — both only maintained under
+	// Options.Speculation (nil otherwise).
+	compDurs []float64
+	specDone map[int]bool
 	// recomputeHolds > 0 blocks compute starts while a crashed parent's
 	// shuffle output is being recomputed (lineage recovery).
 	recomputeHolds int
@@ -135,8 +155,10 @@ type timer struct {
 	kind timerKind
 	key  skey
 	job  int
-	// retry payload (tRetry only)
+	// retry payload (tRetry only); home is the logical partition, node
+	// the machine the dead attempt ran on.
 	node    int
+	home    int
 	ph      phase
 	attempt int
 	recomp  bool
@@ -257,6 +279,17 @@ type engine struct {
 	failed     []bool // per-job abort flag
 	recomps    map[recompKey]*recompState
 
+	// Machine health. nodeSlow[w] > 1 divides every phase rate on node w
+	// (persistent slow machine); nil when every node is healthy, so the
+	// fault-free fast path stays untouched. faultCount / blacklisted /
+	// nBlacklisted exist only when BlacklistAfter > 0. medScratch is the
+	// speculation median scratch.
+	nodeSlow     []float64
+	faultCount   []int
+	blacklisted  []bool
+	nBlacklisted int
+	medScratch   []float64
+
 	// shareObs is Options.Observer when it also implements ShareObserver
 	// (resolved once at construction); nil otherwise. shareScr is the
 	// reused sample scratch handed to OnShares.
@@ -358,8 +391,10 @@ func (e *engine) freeItem(it *item) {
 }
 
 // addItem registers a new work item with the master list and its node's
-// phase bucket, marking the node dirty for that resource.
+// phase bucket, marking the node dirty for that resource. It also stamps
+// the item's creation time (speculation's projection baseline).
 func (e *engine) addItem(it *item) {
+	it.startAt = e.now
 	e.items = append(e.items, it)
 	switch it.ph {
 	case phCompute:
@@ -460,9 +495,58 @@ func (e *engine) setup() {
 	}
 	e.jobsLeft = len(e.runs)
 	if e.opt.Faults != nil {
-		for _, cr := range e.opt.Faults.Crashes() {
+		for _, cr := range e.opt.Faults.CrashEvents(e.nNodes) {
 			e.seq++
 			e.timers.push(timer{at: cr.At, seq: e.seq, kind: tNodeCrash, node: cr.Node, job: -1})
+		}
+		for w := 0; w < e.nNodes; w++ {
+			if s := e.opt.Faults.NodeSlowdown(w); s > 1 {
+				if e.nodeSlow == nil {
+					e.nodeSlow = make([]float64, e.nNodes)
+					for i := range e.nodeSlow {
+						e.nodeSlow[i] = 1
+					}
+				}
+				e.nodeSlow[w] = s
+			}
+		}
+	}
+	if e.opt.BlacklistAfter > 0 {
+		e.faultCount = make([]int, e.nNodes)
+		e.blacklisted = make([]bool, e.nNodes)
+	}
+}
+
+// placeNode maps a partition's home node to the machine that will run
+// it: the home itself, or — when that machine is blacklisted — the next
+// healthy node by index. With every node blacklisted the home is used
+// anyway (a degraded machine beats no machine).
+func (e *engine) placeNode(w int) int {
+	if e.nBlacklisted == 0 || !e.blacklisted[w] {
+		return w
+	}
+	for i := 1; i < e.nNodes; i++ {
+		c := (w + i) % e.nNodes
+		if !e.blacklisted[c] {
+			return c
+		}
+	}
+	return w
+}
+
+// noteFault records one machine-level fault (a task death or a crash)
+// against a node and blacklists it at the configured budget.
+func (e *engine) noteFault(w int) {
+	if e.faultCount == nil || w < 0 || w >= e.nNodes {
+		return
+	}
+	e.faultCount[w]++
+	if e.faultCount[w] == e.opt.BlacklistAfter && !e.blacklisted[w] {
+		e.blacklisted[w] = true
+		e.nBlacklisted++
+		e.res.Blacklisted++
+		if o := e.opt.Observer; o != nil {
+			o.OnEvent(Event{T: e.now, Kind: EvNodeBlacklisted, Job: -1, Stage: -1, Node: w})
 		}
 	}
 }
@@ -525,7 +609,7 @@ func (e *engine) submit(st *stageState, prefetch bool) {
 			continue
 		}
 		it := e.newItem()
-		*it = item{key: st.key, st: st, node: w, ph: phRead, remaining: vol, volume: vol, capped: prefetch}
+		*it = item{key: st.key, st: st, home: w, node: e.placeNode(w), ph: phRead, remaining: vol, volume: vol, capped: prefetch}
 		e.addItem(it)
 	}
 	if st.readsLeft == 0 {
@@ -572,7 +656,7 @@ func (e *engine) startCompute(st *stageState, node int) {
 		return
 	}
 	it := e.newItem()
-	*it = item{key: st.key, st: st, node: node, ph: phCompute, remaining: vol, volume: vol, attempt: 1}
+	*it = item{key: st.key, st: st, home: node, node: e.placeNode(node), ph: phCompute, remaining: vol, volume: vol, attempt: 1}
 	e.armCompute(it)
 	e.addItem(it)
 }
@@ -591,7 +675,7 @@ func (e *engine) finishCompute(st *stageState, node int) {
 		return
 	}
 	it := e.newItem()
-	*it = item{key: st.key, st: st, node: node, ph: phWrite, remaining: vol, volume: vol}
+	*it = item{key: st.key, st: st, home: node, node: e.placeNode(node), ph: phWrite, remaining: vol, volume: vol}
 	e.addItem(it)
 }
 
@@ -782,7 +866,11 @@ func (e *engine) computeRatesPass() {
 		if e.dirtyW[w] {
 			its := e.writeBk[w]
 			if len(its) > 0 {
-				shares := e.fairShares(its, e.diskBW[w])
+				capBW := e.diskBW[w]
+				if s := e.nodeSlowdown(w); s > 1 {
+					capBW /= s
+				}
+				shares := e.fairShares(its, capBW)
 				for i, it := range its {
 					it.rate = shares[i]
 				}
@@ -804,6 +892,7 @@ func (e *engine) computeNodeRates(w int) {
 	// contention factor degrades throughput, not occupancy.
 	shares := e.fairSharesNominal(its, e.execs[w])
 	cf := e.contended(1, len(its))
+	nodeCF := e.nodeSlowdown(w)
 	for i, it := range its {
 		st := it.st
 		share := shares[i]
@@ -815,7 +904,20 @@ func (e *engine) computeNodeRates(w int) {
 		if it.slow > 1 {
 			it.rate /= it.slow
 		}
+		if nodeCF > 1 {
+			it.rate /= nodeCF
+		}
 	}
+}
+
+// nodeSlowdown is node w's persistent rate degradation (1 = healthy).
+// Guarding divisions with > 1 keeps the healthy path bit-identical to
+// the pre-fault-domain engine.
+func (e *engine) nodeSlowdown(w int) float64 {
+	if e.nodeSlow == nil {
+		return 1
+	}
+	return e.nodeSlow[w]
 }
 
 // stageComputeRates sums every stage's total compute rate across nodes,
@@ -870,8 +972,12 @@ func (e *engine) readNodeRates(w int, stageRates map[skey]float64) {
 			nEff++
 		}
 	}
+	capBW := e.netBW[w]
+	if s := e.nodeSlowdown(w); s > 1 {
+		capBW /= s
+	}
 	alloc := resizeF64(&e.wfAlloc, len(its))
-	e.wfActive = waterFillInto(alloc, e.wfActive[:0], e.contended(e.netBW[w], nEff), demands, weights)
+	e.wfActive = waterFillInto(alloc, e.wfActive[:0], e.contended(capBW, nEff), demands, weights)
 	for i, it := range its {
 		it.rate = alloc[i]
 	}
@@ -1018,6 +1124,9 @@ func (e *engine) emitShares(dt float64) {
 			}
 		case phWrite:
 			res, iso = ResDisk, e.diskBW[it.node]
+		}
+		if s := e.nodeSlowdown(it.node); s > 1 {
+			iso /= s
 		}
 		s = append(s, ShareSample{Job: it.key.job, Stage: it.key.stage,
 			Node: it.node, Res: res, Rate: it.rate, IsoRate: iso})
@@ -1180,7 +1289,18 @@ func itemOrder(a, b *item) bool {
 	if a.ph != b.ph {
 		return a.ph < b.ph
 	}
-	return a.node < b.node
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	if a.home != b.home {
+		// Blacklist rerouting can place two partitions on one machine;
+		// the logical partition index breaks the tie.
+		return a.home < b.home
+	}
+	// A speculative clone shares (key, ph, home) with its rival but runs
+	// on a different node, so reaching here means a == b in order terms;
+	// originals sort before clones for definiteness.
+	return !a.spec && b.spec
 }
 
 // removeDone drops completed and freshly-failed items and fires their
@@ -1204,8 +1324,24 @@ func (e *engine) removeDone() {
 	e.doneScratch, e.deadScratch = done, dead
 	sortItems(done)
 	for _, it := range done {
-		if e.failed[it.key.job] {
+		if it.cancelled || e.failed[it.key.job] {
 			continue
+		}
+		if r := it.rival; r != nil {
+			// First finisher wins the speculation race; the loser is
+			// cancelled on the spot (deterministic: done items fire in
+			// itemOrder, and a same-event twin is skipped as cancelled).
+			it.rival, r.rival = nil, nil
+			r.cancelled = true
+			e.unlink(r)
+			e.res.SpecWins++
+			if o := e.opt.Observer; o != nil {
+				o.OnEvent(Event{T: e.now, Kind: EvSpecWin, Job: it.key.job, Stage: it.key.stage,
+					Node: it.node, Attempt: it.attempt})
+			}
+		}
+		if e.opt.Speculation && it.ph == phCompute && !it.recompute {
+			it.st.compDurs = append(it.st.compDurs, e.now-it.startAt)
 		}
 		if it.recompute {
 			e.finishRecompute(it)
@@ -1214,15 +1350,25 @@ func (e *engine) removeDone() {
 		st := it.st
 		switch it.ph {
 		case phRead:
-			e.finishRead(st, it.node)
+			e.finishRead(st, it.home)
 		case phCompute:
-			e.finishCompute(st, it.node)
+			e.finishCompute(st, it.home)
 		case phWrite:
-			e.finishWrite(st, it.node)
+			e.finishWrite(st, it.home)
 		}
 	}
 	sortItems(dead)
 	for _, it := range dead {
+		if it.cancelled {
+			continue
+		}
+		e.noteFault(it.node)
+		if r := it.rival; r != nil {
+			// The twin is still running: fold this death into the race
+			// instead of re-queuing (speculation absorbed the fault).
+			it.rival, r.rival = nil, nil
+			continue
+		}
 		e.taskFailed(it)
 	}
 	// All transitions fired; the removed items hold no live references.
@@ -1234,6 +1380,104 @@ func (e *engine) removeDone() {
 	}
 	e.doneScratch = e.doneScratch[:0]
 	e.deadScratch = e.deadScratch[:0]
+	if e.opt.Speculation {
+		e.maybeSpeculate()
+	}
+}
+
+// unlink removes a cancelled speculation loser from the live set. When
+// the loser completed or died in the same event batch it is no longer in
+// e.items — its scratch entry then carries the cancelled flag and is
+// skipped (and freed) by the batch loops instead.
+func (e *engine) unlink(r *item) {
+	for i, it := range e.items {
+		if it == r {
+			e.items = append(e.items[:i], e.items[i+1:]...)
+			e.bucketRemove(r)
+			e.freeItem(r)
+			return
+		}
+	}
+}
+
+// maybeSpeculate scans running compute partitions after each event batch:
+// once at least half of a stage's partitions have finished computing, a
+// partition whose projected total duration exceeds the threshold multiple
+// of the finished median gets one clone on the best healthy node.
+func (e *engine) maybeSpeculate() {
+	for _, it := range e.items {
+		if it.ph != phCompute || it.recompute || it.spec || it.rival != nil || it.cancelled {
+			continue
+		}
+		st := it.st
+		if st.specDone[it.home] || len(st.compDurs)*2 < e.nNodes {
+			continue
+		}
+		if it.rate <= eps || e.now <= it.startAt {
+			continue
+		}
+		med := e.medianDur(st.compDurs)
+		proj := (e.now - it.startAt) + it.remaining/it.rate
+		if med <= 0 || proj <= e.opt.SpeculationThreshold*med {
+			continue
+		}
+		e.launchSpec(it)
+	}
+}
+
+// medianDur is the lower median of the recorded durations (scratch-based,
+// deterministic).
+func (e *engine) medianDur(ds []float64) float64 {
+	s := resizeF64(&e.medScratch, len(ds))
+	copy(s, ds)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// launchSpec clones a lagging compute partition onto the target node.
+// The clone restarts the partition's full volume (Spark speculation does
+// not migrate partial state); original and clone race, first finisher
+// wins. The partition is marked so it is never cloned twice.
+func (e *engine) launchSpec(it *item) {
+	st := it.st
+	if st.specDone == nil {
+		st.specDone = make(map[int]bool)
+	}
+	st.specDone[it.home] = true
+	tgt := e.specTarget(it)
+	if tgt < 0 {
+		return
+	}
+	cl := e.newItem()
+	*cl = item{key: it.key, st: st, home: it.home, node: tgt, ph: phCompute,
+		remaining: it.volume, volume: it.volume, attempt: it.attempt, spec: true}
+	e.armCompute(cl)
+	cl.rival = it
+	it.rival = cl
+	e.addItem(cl)
+	e.res.SpecLaunched++
+	if o := e.opt.Observer; o != nil {
+		o.OnEvent(Event{T: e.now, Kind: EvSpecLaunched, Job: it.key.job, Stage: it.key.stage,
+			Node: tgt, Attempt: it.attempt})
+	}
+}
+
+// specTarget picks the clone's machine: never the laggard's own node or a
+// blacklisted one, preferring healthy (non-slow) nodes, then the smallest
+// compute load, then the lowest index (the deterministic tie-break).
+func (e *engine) specTarget(it *item) int {
+	best, bestLoad, bestSlow := -1, 0, false
+	for w := 0; w < e.nNodes; w++ {
+		if w == it.node || (e.blacklisted != nil && e.blacklisted[w]) {
+			continue
+		}
+		slow := e.nodeSlowdown(w) > 1
+		load := len(e.computeBk[w])
+		if best < 0 || (bestSlow && !slow) || (slow == bestSlow && load < bestLoad) {
+			best, bestLoad, bestSlow = w, load, slow
+		}
+	}
+	return best
 }
 
 func (e *engine) run() (*Result, error) {

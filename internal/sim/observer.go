@@ -51,6 +51,16 @@ const (
 	// EvJobFailed fires when a job aborts after a partition exhausted its
 	// retry budget; Detail carries the structured error's text.
 	EvJobFailed
+	// EvSpecLaunched fires when speculation clones a lagging compute
+	// partition; Node is the clone's machine, Attempt the attempt being
+	// raced.
+	EvSpecLaunched
+	// EvSpecWin fires when one twin of a speculation race finishes and
+	// the other is cancelled; Node is the winner's machine.
+	EvSpecWin
+	// EvNodeBlacklisted fires when a node exceeds its fault budget and
+	// stops receiving new work.
+	EvNodeBlacklisted
 )
 
 // String returns the stable, machine-readable name of the kind. These
@@ -79,6 +89,12 @@ func (k EventKind) String() string {
 		return "job_done"
 	case EvJobFailed:
 		return "job_failed"
+	case EvSpecLaunched:
+		return "spec_launched"
+	case EvSpecWin:
+		return "spec_win"
+	case EvNodeBlacklisted:
+		return "node_blacklisted"
 	}
 	return "unknown"
 }

@@ -207,8 +207,11 @@ func TestEventKindStrings(t *testing.T) {
 		EvTaskRetry:      "task_retry",
 		EvNodeCrash:      "node_crash",
 		EvDelayRevised:   "delay_revised",
-		EvJobDone:        "job_done",
-		EvJobFailed:      "job_failed",
+		EvJobDone:         "job_done",
+		EvJobFailed:       "job_failed",
+		EvSpecLaunched:    "spec_launched",
+		EvSpecWin:         "spec_win",
+		EvNodeBlacklisted: "node_blacklisted",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -47,7 +47,7 @@ func (e *engine) taskFailed(it *item) {
 	backoff := e.opt.RetryBackoff * math.Pow(2, float64(it.attempt-1))
 	e.seq++
 	e.timers.push(timer{at: e.now + backoff, seq: e.seq, kind: tRetry, key: it.key,
-		job: it.key.job, node: it.node, ph: it.ph, attempt: it.attempt + 1, recomp: it.recompute})
+		job: it.key.job, node: it.node, home: it.home, ph: it.ph, attempt: it.attempt + 1, recomp: it.recompute})
 	if o := e.opt.Observer; o != nil {
 		o.OnEvent(Event{T: e.now, Kind: EvTaskRetry, Job: it.key.job, Stage: it.key.stage,
 			Node: it.node, Attempt: it.attempt, Delay: backoff})
@@ -78,8 +78,11 @@ func (e *engine) retryTask(t timer) {
 		vol = eps * 2 // degenerate volume: completes on the next event
 	}
 	it := e.newItem()
-	*it = item{key: t.key, st: st, node: t.node, ph: t.ph, remaining: vol, volume: vol,
-		attempt: t.attempt, recompute: t.recomp}
+	// Re-place from the partition's home: if the machine that killed the
+	// previous attempts got blacklisted meanwhile, the retry lands on a
+	// healthy node instead of dying in the same place again.
+	*it = item{key: t.key, st: st, home: t.home, node: e.placeNode(t.home), ph: t.ph,
+		remaining: vol, volume: vol, attempt: t.attempt, recompute: t.recomp}
 	if t.ph == phRead && st.prefetched && st.parentsLeft > 0 && !t.recomp {
 		it.capped = true
 	}
@@ -112,8 +115,16 @@ func (e *engine) crashNode(w int) {
 	for _, it := range killed {
 		e.bucketRemove(it)
 	}
+	e.noteFault(w)
 	sort.Slice(killed, func(i, j int) bool { return itemOrder(killed[i], killed[j]) })
 	for _, it := range killed {
+		if r := it.rival; r != nil {
+			// The speculation twin survived the crash on another machine
+			// and keeps running; nothing to re-queue. (Twins never share
+			// a node, so both dying in one crash is impossible.)
+			it.rival, r.rival = nil, nil
+			continue
+		}
 		e.taskFailed(it)
 	}
 	for _, it := range killed {
@@ -141,6 +152,9 @@ func (e *engine) crashNode(w int) {
 	})
 	for _, st := range lost {
 		e.scheduleRecompute(st, w)
+	}
+	if cw, ok := e.opt.Watchdog.(CrashWatcher); ok {
+		e.applyDelayUpdates(cw.NodeCrashed(w, e.now))
 	}
 }
 
@@ -182,8 +196,8 @@ func (e *engine) recompPhase(st *stageState, w int, ph phase, attempt int) {
 		}
 		if vol > eps {
 			it := e.newItem()
-			*it = item{key: st.key, st: st, node: w, ph: ph, remaining: vol, volume: vol,
-				attempt: attempt, recompute: true}
+			*it = item{key: st.key, st: st, home: w, node: e.placeNode(w), ph: ph,
+				remaining: vol, volume: vol, attempt: attempt, recompute: true}
 			if ph == phCompute {
 				e.armCompute(it)
 			}
@@ -203,10 +217,10 @@ func (e *engine) recompPhase(st *stageState, w int, ph phase, attempt int) {
 func (e *engine) finishRecompute(it *item) {
 	st := it.st
 	if it.ph == phWrite {
-		e.releaseRecompute(it.key, it.node)
+		e.releaseRecompute(it.key, it.home)
 		return
 	}
-	e.recompPhase(st, it.node, it.ph+1, 1)
+	e.recompPhase(st, it.home, it.ph+1, 1)
 }
 
 // releaseRecompute ends a recomputation: held children may compute again.

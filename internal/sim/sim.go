@@ -74,6 +74,24 @@ type Options struct {
 	// n+1 starts RetryBackoff·2^(n−1) seconds after attempt n failed.
 	// Zero means 2 s.
 	RetryBackoff float64
+	// Speculation enables straggler mitigation: once at least half of a
+	// stage's compute partitions have finished, a partition whose
+	// projected duration exceeds SpeculationThreshold times the median
+	// of the finished ones gets a clone on the least-loaded healthy
+	// node. First finisher wins; the loser is cancelled (its death, if
+	// doomed, is absorbed without a retry). At most one clone per
+	// partition.
+	Speculation bool
+	// SpeculationThreshold is the lag multiple that triggers a clone
+	// (projected duration > threshold × median). Zero means 1.5.
+	SpeculationThreshold float64
+	// BlacklistAfter, when positive, stops placing new work on a node
+	// after it accumulated that many faults (task deaths and crashes).
+	// Work logically belonging to a blacklisted node is rerouted to the
+	// next healthy node (its shuffle partition still lives there — the
+	// fluid model keeps per-node volumes unchanged). Zero disables
+	// blacklisting.
+	BlacklistAfter int
 	// Watchdog observes stage completions and task retries at runtime and
 	// may revise the submission delays of not-yet-submitted stages (the
 	// guarded DelayStage strategy plugs in here). Nil: no monitoring.
@@ -117,6 +135,15 @@ type Watchdog interface {
 	StageReadCompleted(ev WatchEvent) []DelayUpdate
 	StageCompleted(ev WatchEvent) []DelayUpdate
 	TaskRetried(job int, stage dag.StageID, node, attempt int, now float64) []DelayUpdate
+}
+
+// CrashWatcher is an optional Watchdog extension (type-asserted like
+// ShareObserver): NodeCrashed fires when a machine-level crash executes,
+// after the lost work is re-queued, so a guarded scheduler can replan the
+// remaining delays for the degraded capacity. A Watchdog that does not
+// implement it costs nothing.
+type CrashWatcher interface {
+	NodeCrashed(node int, now float64) []DelayUpdate
 }
 
 // StageFailureError reports that a job was aborted because one stage
@@ -212,6 +239,12 @@ type Result struct {
 	// Retries is the total number of failed partition attempts across all
 	// jobs (zero in a fault-free run).
 	Retries int
+	// SpecLaunched / SpecWins count speculative clones started and clones
+	// (or originals) that won their race; Blacklisted counts nodes taken
+	// out of placement. All zero unless the mitigation options are on.
+	SpecLaunched int
+	SpecWins     int
+	Blacklisted  int
 	// JobErrors[i] is non-nil (a *StageFailureError) when runs[i] was
 	// aborted after a partition exhausted its retry budget; its JobEnd is
 	// the abort time and its timelines are partial.
@@ -305,6 +338,14 @@ func prepare(opt Options, runs []JobRun) (Options, error) {
 	}
 	if opt.RetryBackoff <= 0 {
 		opt.RetryBackoff = 2
+	}
+	if opt.SpeculationThreshold == 0 {
+		opt.SpeculationThreshold = 1.5
+	} else if opt.SpeculationThreshold < 1 || math.IsNaN(opt.SpeculationThreshold) || math.IsInf(opt.SpeculationThreshold, 0) {
+		return opt, fmt.Errorf("sim: speculation threshold %v must be ≥1", opt.SpeculationThreshold)
+	}
+	if opt.BlacklistAfter < 0 {
+		return opt, fmt.Errorf("sim: blacklist-after %d must be ≥0", opt.BlacklistAfter)
 	}
 	if opt.MaxTime <= 0 {
 		opt.MaxTime = 30 * 24 * 3600

@@ -165,6 +165,15 @@ func (e *engine) clone() *engine {
 			d := *st.delayOverride
 			ns.delayOverride = &d
 		}
+		if st.compDurs != nil {
+			ns.compDurs = append([]float64(nil), st.compDurs...)
+		}
+		if st.specDone != nil {
+			ns.specDone = make(map[int]bool, len(st.specDone))
+			for k, v := range st.specDone {
+				ns.specDone[k] = v
+			}
+		}
 		sm[st] = ns
 		c.states[ns.key] = ns
 		c.stateList = append(c.stateList, ns)
@@ -181,6 +190,13 @@ func (e *engine) clone() *engine {
 		ni.st = sm[it.st]
 		im[it] = ni
 		c.items = append(c.items, ni)
+	}
+	// Second pass: rewire speculation rival links through the old→new map
+	// (both ends of a live race are always in e.items).
+	for _, it := range e.items {
+		if it.rival != nil {
+			im[it].rival = im[it.rival]
+		}
 	}
 	for w := 0; w < e.nNodes; w++ {
 		for _, it := range e.computeBk[w] {
@@ -206,6 +222,15 @@ func (e *engine) clone() *engine {
 	for k, rs := range e.recomps {
 		c.recomps[k] = &recompState{held: append([]skey(nil), rs.held...)}
 	}
+	// Machine health: nodeSlow is immutable after setup (shared);
+	// fault counters are mutable (copied). newEngine does not run setup,
+	// so the clone must take them explicitly.
+	c.nodeSlow = e.nodeSlow
+	if e.faultCount != nil {
+		c.faultCount = append([]int(nil), e.faultCount...)
+		c.blacklisted = append([]bool(nil), e.blacklisted...)
+	}
+	c.nBlacklisted = e.nBlacklisted
 	return c
 }
 
