@@ -25,6 +25,7 @@ import (
 	"delaystage/internal/core"
 	"delaystage/internal/experiments"
 	"delaystage/internal/scheduler"
+	"delaystage/internal/shardsim"
 	"delaystage/internal/sim"
 	"delaystage/internal/trace"
 	"delaystage/internal/workload"
@@ -215,6 +216,107 @@ func BenchmarkFig14TraceReplay(b *testing.B) {
 			fuxi, def := r.Rows[0].MeanJCT, r.Rows[2].MeanJCT
 			b.ReportMetric(100*(fuxi-def)/fuxi, "%mean-JCT-gain-vs-Fuxi")
 		}
+	})
+}
+
+// BenchmarkFig14ShardedReplay contrasts the two architectures for a
+// full-trace replay on one thread:
+//
+//   - single-engine: every trace job co-resident in ONE fluid engine on a
+//     shared coarse cluster (FairByJob), the run-to-completion shape the
+//     replay had before sharding. Each event pays O(all live items) in the
+//     rate pass and the dt scan, so cost grows quadratically with the
+//     number of concurrently live jobs.
+//   - shards-8: the same jobs as disjoint per-slice worlds (the paper's
+//     "resources are evenly partitioned" assumption) on 8 engine shards
+//     advanced by merging clocks, Workers=1 — a purely architectural
+//     speedup: each engine scans only its own world's items.
+//
+// trace-slice-512 additionally measures sharded replay throughput with
+// lazily built worlds and a bounded live window — the full-scale
+// (tracegen -scale full) configuration in miniature.
+func BenchmarkFig14ShardedReplay(b *testing.B) {
+	const jobs = 96
+	const stagger = 5.0 // arrival spacing (s): keeps most jobs concurrently live
+	tr := trace.Generate(trace.GenConfig{Jobs: jobs, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	shared := sim.Coarsen(cluster.NewTraceCluster(2*jobs, 4, rng))
+	sharedRuns := make([]sim.JobRun, jobs)
+	for i := range sharedRuns {
+		wl, err := tr.Jobs[i].Workload(shared, trace.DefaultSplit, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedRuns[i] = sim.JobRun{Job: wl, Arrival: float64(i) * stagger}
+	}
+	sliceRng := rand.New(rand.NewSource(1))
+	worlds := make([]shardsim.World, jobs)
+	for i := range worlds {
+		slice := sim.Coarsen(cluster.NewTraceCluster(2, 4, sliceRng))
+		wl, err := tr.Jobs[i].Workload(slice, trace.DefaultSplit, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worlds[i] = shardsim.World{
+			Opt:  sim.Options{Cluster: slice, TrackNode: -1},
+			Runs: []sim.JobRun{{Job: wl, Arrival: float64(i) * stagger}},
+		}
+	}
+	b.Run("single-engine", func(b *testing.B) {
+		timed(b, func() {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Options{Cluster: shared, TrackNode: -1, FairByJob: true}, sharedRuns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Events), "events")
+			}
+		})
+	})
+	b.Run("shards-8", func(b *testing.B) {
+		timed(b, func() {
+			for i := 0; i < b.N; i++ {
+				events := 0
+				err := shardsim.Run(shardsim.Config{Shards: 8, Workers: 1}, len(worlds),
+					func(w int) (shardsim.World, error) { return worlds[w], nil },
+					func(_ int, res *sim.Result) error { events += res.Events; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events")
+			}
+		})
+	})
+	b.Run("trace-slice-512", func(b *testing.B) {
+		const sliceJobs = 512
+		str := trace.Generate(trace.GenConfig{Jobs: sliceJobs, Seed: 2})
+		wr := rand.New(rand.NewSource(2))
+		slices := make([]*cluster.Cluster, sliceJobs)
+		for i := range slices {
+			slices[i] = sim.Coarsen(cluster.NewTraceCluster(2, 4, wr))
+		}
+		timed(b, func() {
+			for i := 0; i < b.N; i++ {
+				// Worlds are built lazily inside build, as cmd/replay does:
+				// workload materialization is part of the replay's work and
+				// only the MaxLive window holds engine state.
+				err := shardsim.Run(shardsim.Config{Shards: 8, Workers: 1, MaxLive: 64}, sliceJobs,
+					func(w int) (shardsim.World, error) {
+						wl, err := str.Jobs[w].Workload(slices[w], trace.DefaultSplit, nil)
+						if err != nil {
+							return shardsim.World{}, err
+						}
+						return shardsim.World{
+							Opt:  sim.Options{Cluster: slices[w], TrackNode: -1},
+							Runs: []sim.JobRun{{Job: wl}},
+						}, nil
+					},
+					func(int, *sim.Result) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }
 

@@ -13,7 +13,10 @@
 // Benchmarks below -min-seconds in the baseline are reported but never
 // gated: at sub-50ms scale the runner's scheduling jitter dwarfs any real
 // regression. A benchmark present in the baseline but absent from the fresh
-// file fails the gate too — a silently vanished bench is not a speedup.
+// file fails the gate too — a silently vanished bench is not a speedup —
+// and so does a fresh benchmark missing from the baseline: an ungated
+// bench would let its regressions sail through until someone notices, so
+// the baseline must be regenerated and committed alongside new benches.
 package main
 
 import (
@@ -98,7 +101,12 @@ func main() {
 	}
 	for _, b := range fresh.Benches {
 		if !known[b.Name] {
-			fmt.Printf("%-36s %12s %12.3f\n", b.Name, "(new)", b.Seconds)
+			// A benchmark the baseline has never seen means the committed
+			// BENCH_sim.json is stale: nothing gates the new bench, so a
+			// regression in it would sail through every future run. Fail
+			// until the baseline is regenerated and committed.
+			fmt.Printf("%-36s %12s %12.3f %9s\n", b.Name, "(new)", b.Seconds, "FAIL")
+			failures = append(failures, fmt.Sprintf("%s: present in fresh run, missing from baseline — regenerate and commit BENCH_sim.json", b.Name))
 		}
 	}
 	fmt.Printf("total: baseline %.3fs, fresh %.3fs\n", base.TotalSeconds, fresh.TotalSeconds)

@@ -10,10 +10,21 @@
 //	replay -f trace.csv -events ev.jsonl -chrometrace tr.json -json sum.json
 //	replay -f trace.csv -fault-rate 0.05 -node-mttf 4000 -speculate -blacklist-after 2
 //	replay -f trace.csv -checkpoint-dir ckpt -resume -json sum.json
+//	tracegen -scale full | replay -shards 8 -model-eval -variants fuxi,default
 //
 // -events and -chrometrace capture the default-DelayStage replays (one sim
 // run per trace job, labelled run=<job index>); -json summarizes every
 // variant.
+//
+// -shards N replays each variant through N merging-clock engine shards
+// (internal/shardsim): shard s owns jobs {i : i%N == s} and advances a
+// bounded window of live simulations (-shard-window, default 64) in global
+// timestamp order, so memory stays flat even on the full 2.7M-job trace.
+// Per-shard JCT CDFs are k-way merged and the utilization integrals are
+// folded in job order, so the summary is byte-identical at any shard
+// count, including -shards 0 (the sequential path). For full-scale traces
+// combine it with -model-eval (closed-form planner evaluation instead of
+// what-if simulation) and -variants to pick the strategies to replay.
 //
 // -checkpoint-dir makes the replay crash-safe: after every job the
 // per-variant progress (bit-exact JCTs and utilization sums) is written
@@ -21,10 +32,12 @@
 // SIGKILLed replay resumed with the same flags produces a byte-identical
 // -json summary. A missing checkpoint starts fresh; a corrupt or
 // mismatched one (different trace or flags) is discarded with a warning.
+// The sharded path has no per-job progress prefix, so -shards is
+// incompatible with -checkpoint-dir (and with -events/-chrometrace, whose
+// logs would interleave across shards).
 package main
 
 import (
-	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -35,6 +48,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"delaystage/internal/ckpt"
@@ -44,6 +58,7 @@ import (
 	"delaystage/internal/faults"
 	"delaystage/internal/metrics"
 	"delaystage/internal/obs"
+	"delaystage/internal/shardsim"
 	"delaystage/internal/sim"
 	"delaystage/internal/trace"
 )
@@ -157,7 +172,20 @@ func main() {
 	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the replay (for scraping short runs)")
 	ckptDir := flag.String("checkpoint-dir", "", "write per-job progress checkpoints into this directory (the replay becomes crash-safe)")
 	resume := flag.Bool("resume", false, "resume from the progress checkpoint in -checkpoint-dir (missing or stale checkpoints start fresh)")
+	shards := flag.Int("shards", 0, "replay through this many merging-clock engine shards (0 = sequential legacy path); the summary is byte-identical at any setting")
+	shardWindow := flag.Int("shard-window", 0, "max live simulation worlds per shard (0 = default 64); bounds sharded replay memory at full trace scale")
+	variantsFlag := flag.String("variants", "", "comma-separated subset of variants to replay: fuxi,random,default,ascending (default: all)")
+	modelEval := flag.Bool("model-eval", false, "plan with the closed-form model evaluator instead of what-if simulation (needed to replay full-scale traces in minutes)")
 	flag.Parse()
+
+	if *shards > 0 {
+		if *ckptDir != "" {
+			log.Fatal("-shards is incompatible with -checkpoint-dir: the sharded replay has no per-job progress prefix; run it to completion")
+		}
+		if *eventsPath != "" || *tracePath != "" {
+			log.Fatal("-shards is incompatible with -events and -chrometrace: interleaved shard stepping would scramble the per-run logs")
+		}
+	}
 
 	var r io.Reader = os.Stdin
 	if *file != "" {
@@ -168,13 +196,11 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	// The raw trace bytes feed both the parser and the progress-checkpoint
-	// fingerprint: a checkpoint must only resume against the same trace.
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr, err := trace.Parse(bytes.NewReader(raw))
+	// The trace bytes are hashed while they stream through the parser —
+	// never buffered whole — and feed the progress-checkpoint fingerprint:
+	// a checkpoint must only resume against the same trace.
+	traceHash := fnv.New64a()
+	tr, err := trace.Parse(io.TeeReader(r, traceHash))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -252,6 +278,25 @@ func main() {
 		{name: "default DelayStage", order: core.Descending},
 		{name: "ascending DelayStage", order: core.Ascending},
 	}
+	if *variantsFlag != "" {
+		keys := map[string]string{"fuxi": "Fuxi", "random": "random DelayStage",
+			"default": "default DelayStage", "ascending": "ascending DelayStage"}
+		want := map[string]bool{}
+		for _, k := range strings.Split(*variantsFlag, ",") {
+			name, ok := keys[strings.TrimSpace(strings.ToLower(k))]
+			if !ok {
+				log.Fatalf("replay: unknown variant %q (want fuxi, random, default or ascending)", k)
+			}
+			want[name] = true
+		}
+		sel := variants[:0]
+		for _, v := range variants {
+			if want[v.name] {
+				sel = append(sel, v)
+			}
+		}
+		variants = sel
+	}
 
 	// Progress checkpointing. The fingerprint covers the trace bytes and
 	// every flag that shapes a replayed run, so a checkpoint written under
@@ -274,18 +319,19 @@ func main() {
 	} else if *resume {
 		log.Fatal("-resume requires -checkpoint-dir")
 	}
-	h := fnv.New64a()
-	h.Write(raw)
+	h := traceHash
 	cfgBuf := make([]byte, 0, 128)
 	for _, v := range []float64{float64(*sliceMachines), float64(*seed), *faultRate,
 		*stragFrac, *stragFactor, *nodeMTTF, *mttfHorizon, *slowNodeFrac, *slowNodeFactor,
 		float64(*faultSeed), float64(*maxRetries), float64(*blacklistAfter)} {
 		cfgBuf = binary.LittleEndian.AppendUint64(cfgBuf, math.Float64bits(v))
 	}
-	if *speculate {
-		cfgBuf = append(cfgBuf, 1)
-	} else {
-		cfgBuf = append(cfgBuf, 0)
+	for _, b := range []bool{*speculate, *modelEval} {
+		if b {
+			cfgBuf = append(cfgBuf, 1)
+		} else {
+			cfgBuf = append(cfgBuf, 0)
+		}
 	}
 	for _, v := range variants {
 		cfgBuf = append(cfgBuf, v.name...)
@@ -344,10 +390,14 @@ func main() {
 				"per-job completion time by scheduling variant", obs.ExpBuckets(10, 2, 12))
 		}
 		p := state[vi]
-		for i := p.done; i < len(tr.Jobs); i++ {
+		// buildWorld materializes job i's replay world: the planned delays
+		// (when the variant plans) plus the simulation options on the job's
+		// own cluster slice. It is a pure function of i, so the sharded path
+		// may call it lazily from worker goroutines.
+		buildWorld := func(i int) (shardsim.World, error) {
 			wl, err := tr.Jobs[i].Workload(slices[i], trace.DefaultSplit, nil)
 			if err != nil {
-				log.Fatalf("job %s: %v", tr.Jobs[i].Name, err)
+				return shardsim.World{}, fmt.Errorf("job %s: %w", tr.Jobs[i].Name, err)
 			}
 			var delays map[dag.StageID]float64
 			if !v.plain {
@@ -356,54 +406,126 @@ func main() {
 					mc = 6
 				}
 				sched, err := core.Compute(core.Options{
-					Cluster: slices[i], Order: v.order, Seed: *seed + int64(i), MaxCandidates: mc,
+					Cluster: slices[i], Order: v.order, Seed: *seed + int64(i),
+					MaxCandidates: mc, UseModelEvaluator: *modelEval,
 				}, wl)
 				if err != nil {
-					log.Fatal(err)
+					return shardsim.World{}, err
 				}
 				delays = sched.Delays
 			}
-			opt := sim.Options{Cluster: slices[i], TrackNode: -1,
-				Faults: injector(i), MaxAttempts: *maxRetries,
-				Speculation: *speculate, BlacklistAfter: *blacklistAfter}
-			if observed {
-				if jsonl != nil {
-					jsonl.Run = i
-				}
-				if tracer != nil {
-					tracer.Run = i
-				}
-				opt.Observer = obs.Multi(jsonl, tracer)
+			return shardsim.World{
+				Opt: sim.Options{Cluster: slices[i], TrackNode: -1,
+					Faults: injector(i), MaxAttempts: *maxRetries,
+					Speculation: *speculate, BlacklistAfter: *blacklistAfter},
+				Runs: []sim.JobRun{{Job: wl, Delays: delays}},
+			}, nil
+		}
+		var mergedCDF *metrics.CDF
+		if *shards > 0 {
+			// Sharded replay: shard s owns jobs {i : i%shards == s}, worlds
+			// are built lazily as their shard's merging clock reaches them,
+			// and only shards×window engines are live at once. Results land
+			// in indexed slots and are folded in job order below, so the
+			// summary floats match the sequential path bit for bit.
+			type slot struct {
+				jct, cpu, net float64
+				failed        bool
 			}
-			res, err := sim.Run(opt, []sim.JobRun{{Job: wl, Delays: delays}})
+			slots := make([]slot, len(tr.Jobs))
+			err := shardsim.Run(shardsim.Config{Shards: *shards, MaxLive: *shardWindow},
+				len(tr.Jobs),
+				buildWorld,
+				func(i int, res *sim.Result) error {
+					if ferr := res.Failed(0); ferr != nil {
+						slots[i].failed = true
+					} else {
+						slots[i].jct = res.JCT(0)
+						slots[i].cpu, slots[i].net = res.AvgCPUUtil, res.AvgNetUtil
+						if jctHist != nil {
+							jctHist.Observe(slots[i].jct) // histogram is mutex-guarded
+						}
+					}
+					if runsDone != nil {
+						runsDone.Inc()
+					}
+					return nil
+				})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if ferr := res.Failed(0); ferr != nil {
-				// With fault injection on, a job can exhaust its retry
-				// budget; it is a data point of the variant, not a replay
-				// error, and it contributes no JCT.
-				p.failed++
-			} else {
-				jct := res.JCT(0)
-				p.jcts = append(p.jcts, jct)
-				if jctHist != nil {
-					jctHist.Observe(jct)
+			nsh := *shards
+			if nsh > len(slots) {
+				nsh = len(slots)
+			}
+			byShard := make([][]float64, nsh)
+			for i, s := range slots {
+				if s.failed {
+					p.failed++
+					continue
 				}
-				p.cpuInt += res.AvgCPUUtil * jct
-				p.netInt += res.AvgNetUtil * jct
-				p.timeInt += jct
+				p.jcts = append(p.jcts, s.jct)
+				byShard[i%nsh] = append(byShard[i%nsh], s.jct)
+				p.cpuInt += s.cpu * s.jct
+				p.netInt += s.net * s.jct
+				p.timeInt += s.jct
 			}
-			if runsDone != nil {
-				runsDone.Inc()
+			// Per-shard sorted CDFs, k-way merged: the full-scale reduction.
+			// Merge reproduces NewCDF's sample order element for element.
+			cdfs := make([]*metrics.CDF, nsh)
+			for s := range cdfs {
+				cdfs[s] = metrics.NewCDF(byShard[s])
 			}
-			p.done = i + 1
-			saveProgress()
+			mergedCDF = cdfs[0].Merge(cdfs[1:]...)
+			p.done = len(tr.Jobs)
+		} else {
+			for i := p.done; i < len(tr.Jobs); i++ {
+				w, err := buildWorld(i)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if observed {
+					if jsonl != nil {
+						jsonl.Run = i
+					}
+					if tracer != nil {
+						tracer.Run = i
+					}
+					w.Opt.Observer = obs.Multi(jsonl, tracer)
+				}
+				res, err := sim.Run(w.Opt, w.Runs)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ferr := res.Failed(0); ferr != nil {
+					// With fault injection on, a job can exhaust its retry
+					// budget; it is a data point of the variant, not a replay
+					// error, and it contributes no JCT.
+					p.failed++
+				} else {
+					jct := res.JCT(0)
+					p.jcts = append(p.jcts, jct)
+					if jctHist != nil {
+						jctHist.Observe(jct)
+					}
+					p.cpuInt += res.AvgCPUUtil * jct
+					p.netInt += res.AvgNetUtil * jct
+					p.timeInt += jct
+				}
+				if runsDone != nil {
+					runsDone.Inc()
+				}
+				p.done = i + 1
+				saveProgress()
+			}
 		}
 		if len(p.jcts) == 0 {
 			log.Fatalf("%s: every job failed under the injected faults", v.name)
 		}
-		cdf := metrics.NewCDF(p.jcts)
+		cdf := mergedCDF
+		if cdf == nil {
+			cdf = metrics.NewCDF(p.jcts)
+		}
 		fmt.Printf("%-22s mean %8.0fs  P50 %8.0fs  P90 %8.0fs  P99 %8.0fs  CPU %5.1f%%  net %5.1f%%",
 			v.name, cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.99),
 			p.cpuInt/p.timeInt*100, p.netInt/p.timeInt*100)

@@ -7,6 +7,12 @@
 //
 //	tracegen [-jobs 1000] [-seed 1] [-span-hours 192] > batch_task.csv
 //	tracegen -usage [-machines 100] [-span-hours 192] > machine_usage.csv
+//	tracegen -scale full > batch_task.csv   # the full Alibaba v2018 shape
+//
+// -scale full reproduces the shape of the real trace the paper evaluates
+// on — 2,775,025 jobs arriving over 8 days (and 4,000 machines in -usage
+// mode) — for the sharded full-scale replay (replay -shards). Explicit
+// -jobs/-span-hours/-machines flags still win over the preset.
 package main
 
 import (
@@ -18,13 +24,39 @@ import (
 	"delaystage/internal/trace"
 )
 
+// The Alibaba cluster trace v2018 shape the paper evaluates on.
+const (
+	fullJobs     = 2_775_025
+	fullMachines = 4000
+	fullSpanH    = 192
+)
+
 func main() {
 	jobs := flag.Int("jobs", 1000, "number of jobs")
 	seed := flag.Int64("seed", 1, "generator seed")
 	spanHours := flag.Float64("span-hours", 192, "arrival window (the trace spans 8 days)")
 	usage := flag.Bool("usage", false, "emit machine_usage.csv (Fig. 4) instead of batch_task.csv")
 	machines := flag.Int("machines", 100, "machine count for -usage")
+	scalePreset := flag.String("scale", "", "\"full\" presets the real trace's shape: 2,775,025 jobs / 192 h (and 4,000 machines for -usage); explicit flags override")
 	flag.Parse()
+
+	switch *scalePreset {
+	case "":
+	case "full":
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["jobs"] {
+			*jobs = fullJobs
+		}
+		if !set["span-hours"] {
+			*spanHours = fullSpanH
+		}
+		if !set["machines"] {
+			*machines = fullMachines
+		}
+	default:
+		log.Fatalf("tracegen: unknown -scale %q (only \"full\")", *scalePreset)
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFig14ShardInvariance pins the replay determinism contract end to
+// end: the Fig. 14 / Table 4 result — CDF summaries, job-order
+// utilization integrals, evaluation counters — is byte-identical whether
+// the replay runs through the legacy flat cell pool (Shards=0) or through
+// the merging-clock shard runner, at any shard and worker count.
+func TestFig14ShardInvariance(t *testing.T) {
+	run := func(shards, par int) []byte {
+		res, err := Fig14(Config{Seed: 3, TraceJobs: 18, Shards: shards, Parallelism: par})
+		if err != nil {
+			t.Fatalf("shards=%d parallelism=%d: %v", shards, par, err)
+		}
+		buf, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	ref := run(0, 1)
+	for _, tc := range []struct{ shards, par int }{{1, 1}, {4, 1}, {8, 1}, {4, 4}} {
+		if got := run(tc.shards, tc.par); !bytes.Equal(got, ref) {
+			t.Errorf("shards=%d parallelism=%d: result differs from the flat path",
+				tc.shards, tc.par)
+		}
+	}
+}

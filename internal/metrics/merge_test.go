@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCDFMergeMatchesFullSort pins Merge's contract: merging per-shard
+// CDFs yields the exact sample sequence NewCDF produces over the
+// concatenated raw samples — so sharded replays summarize byte-identically
+// to monolithic ones.
+func TestCDFMergeMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(9)
+		var all []float64
+		shards := make([]*CDF, k)
+		for s := 0; s < k; s++ {
+			n := rng.Intn(40) // some shards end up empty
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = math.Floor(rng.NormFloat64()*100) / 8 // force duplicates
+			}
+			all = append(all, samples...)
+			shards[s] = NewCDF(samples)
+		}
+		got := shards[0].Merge(shards[1:]...)
+		want := NewCDF(all)
+		if !reflect.DeepEqual(got.xs, want.xs) {
+			t.Fatalf("trial %d (k=%d): merged samples differ from full sort", trial, k)
+		}
+		gj, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gj) != string(wj) {
+			t.Fatalf("trial %d: JSON summaries differ:\n%s\n%s", trial, gj, wj)
+		}
+	}
+}
+
+// TestCDFMergeNaN: NaN samples sort first (the sort.Float64s convention)
+// through a merge too.
+func TestCDFMergeNaN(t *testing.T) {
+	a := NewCDF([]float64{3, math.NaN(), 1})
+	b := NewCDF([]float64{2, math.NaN()})
+	got := a.Merge(b)
+	if got.N() != 5 {
+		t.Fatalf("N = %d, want 5", got.N())
+	}
+	if !math.IsNaN(got.xs[0]) || !math.IsNaN(got.xs[1]) {
+		t.Fatalf("NaNs must lead the merged samples, got %v", got.xs)
+	}
+	if !reflect.DeepEqual(got.xs[2:], []float64{1, 2, 3}) {
+		t.Fatalf("tail = %v, want [1 2 3]", got.xs[2:])
+	}
+}
+
+// TestCDFMergeDegenerate: nil receiver, nil others, empty inputs.
+func TestCDFMergeDegenerate(t *testing.T) {
+	if got := (*CDF)(nil).Merge(nil, NewCDF(nil)); got.N() != 0 {
+		t.Fatalf("all-empty merge has N=%d, want 0", got.N())
+	}
+	one := NewCDF([]float64{5, 1})
+	got := one.Merge(nil, NewCDF(nil), nil)
+	if !reflect.DeepEqual(got.xs, []float64{1, 5}) {
+		t.Fatalf("single-source merge = %v, want [1 5]", got.xs)
+	}
+}
+
+// TestCDFMergeDoesNotMutate: inputs stay intact and independent of the
+// merged output.
+func TestCDFMergeDoesNotMutate(t *testing.T) {
+	a := NewCDF([]float64{4, 2})
+	b := NewCDF([]float64{3, 1})
+	got := a.Merge(b)
+	if !reflect.DeepEqual(a.xs, []float64{2, 4}) || !reflect.DeepEqual(b.xs, []float64{1, 3}) {
+		t.Fatalf("inputs mutated: a=%v b=%v", a.xs, b.xs)
+	}
+	got.xs[0] = 99
+	if a.xs[0] == 99 || b.xs[0] == 99 {
+		t.Fatal("merged CDF aliases an input's sample slice")
+	}
+}

@@ -1497,67 +1497,126 @@ func (e *engine) run() (*Result, error) {
 // resumed trajectory is bit-identical to an uninterrupted one.
 func (e *engine) loop() error {
 	for {
-		// Fire all timers due now.
-		for len(e.timers) > 0 && e.timers[0].at <= e.now+eps {
-			if e.haltSet {
-				// The timer would fire at max(now, at) — the same clock
-				// value fireTimer runs under. Stop before popping it if
-				// that lands at or past the halt time.
-				eff := e.timers[0].at
-				if eff < e.now {
-					eff = e.now
-				}
-				if eff >= e.haltAt {
-					e.halted = true
-					return nil
-				}
-			}
-			t := e.timers.pop()
-			if t.at > e.now {
-				e.now = t.at
-			}
-			e.fireTimer(t)
-		}
-		e.maybePrefetch()
-		// Stop when nothing remains — or when every job has completed or
-		// failed (leftover crash/retry timers no longer matter).
-		if len(e.items) == 0 && len(e.timers) == 0 {
-			break
-		}
-		if e.jobsLeft == 0 {
-			break
-		}
-		e.computeRatesPass()
-		dt := e.nextDT()
-		if len(e.timers) > 0 {
-			if d := e.timers[0].at - e.now; d < dt {
-				dt = d
-			}
-		}
-		if math.IsInf(dt, 1) {
-			return fmt.Errorf("sim: deadlock at t=%.3f with %d items", e.now, len(e.items))
-		}
-		if dt < minDT {
-			dt = minDT
-		}
-		if e.haltSet && e.now+dt >= e.haltAt {
-			// The same floating-point expression advance would store into
-			// e.now: halting here leaves the engine exactly one advance
-			// short of the halt time, at a clean pre-advance boundary.
-			e.halted = true
-			return nil
-		}
-		e.advance(dt)
-		e.removeDone()
-		e.res.Events++
-		if e.now > e.opt.MaxTime {
-			return fmt.Errorf("sim: exceeded MaxTime %.0fs", e.opt.MaxTime)
-		}
-		if e.res.Events > 5_000_000 {
-			return fmt.Errorf("sim: event limit exceeded at t=%.3f with %d items", e.now, len(e.items))
+		done, err := e.step()
+		if err != nil || done {
+			return err
 		}
 	}
-	return nil
+}
+
+// step runs exactly one event-loop iteration: fire every timer due now,
+// then make one rates-pass-and-advance (or halt, or detect completion).
+// It is the loop body of loop(), extracted verbatim so external drivers —
+// the Stepper primitives and the shard runner built on them — interleave
+// engines at event granularity with zero behavior change: a run stepped to
+// completion is bit-identical to Run.
+//
+// step returns done=true when the run finished (or halted at the haltSet
+// boundary); calling it again on a finished engine is a harmless no-op
+// that reports done again. Any error is terminal.
+func (e *engine) step() (done bool, err error) {
+	// Fire all timers due now.
+	for len(e.timers) > 0 && e.timers[0].at <= e.now+eps {
+		if e.haltSet {
+			// The timer would fire at max(now, at) — the same clock
+			// value fireTimer runs under. Stop before popping it if
+			// that lands at or past the halt time.
+			eff := e.timers[0].at
+			if eff < e.now {
+				eff = e.now
+			}
+			if eff >= e.haltAt {
+				e.halted = true
+				return true, nil
+			}
+		}
+		t := e.timers.pop()
+		if t.at > e.now {
+			e.now = t.at
+		}
+		e.fireTimer(t)
+	}
+	e.maybePrefetch()
+	// Stop when nothing remains — or when every job has completed or
+	// failed (leftover crash/retry timers no longer matter).
+	if len(e.items) == 0 && len(e.timers) == 0 {
+		return true, nil
+	}
+	if e.jobsLeft == 0 {
+		return true, nil
+	}
+	e.computeRatesPass()
+	dt := e.nextDT()
+	if len(e.timers) > 0 {
+		if d := e.timers[0].at - e.now; d < dt {
+			dt = d
+		}
+	}
+	if math.IsInf(dt, 1) {
+		return false, fmt.Errorf("sim: deadlock at t=%.3f with %d items", e.now, len(e.items))
+	}
+	if dt < minDT {
+		dt = minDT
+	}
+	if e.haltSet && e.now+dt >= e.haltAt {
+		// The same floating-point expression advance would store into
+		// e.now: halting here leaves the engine exactly one advance
+		// short of the halt time, at a clean pre-advance boundary.
+		e.halted = true
+		return true, nil
+	}
+	e.advance(dt)
+	e.removeDone()
+	e.res.Events++
+	if e.now > e.opt.MaxTime {
+		return false, fmt.Errorf("sim: exceeded MaxTime %.0fs", e.opt.MaxTime)
+	}
+	if e.res.Events > 5_000_000 {
+		return false, fmt.Errorf("sim: event limit exceeded at t=%.3f with %d items", e.now, len(e.items))
+	}
+	return false, nil
+}
+
+// peekNextEventTime prices the next event without committing to it: the
+// simulated time step would advance the clock to if called now, +Inf when
+// the engine is drained. It only performs mutations that are idempotent at
+// an event boundary — the same maybePrefetch/computeRatesPass pair the
+// snapshot machinery relies on when re-entering loop — so peek-then-step
+// is bit-identical to step alone, and peeking adds no persistent engine
+// state (nothing for the clone or the persist codec to carry).
+//
+// A due timer is priced at max(now, timer) without being fired; a state
+// step() would report as deadlocked is priced at now, so a merging clock
+// drains the engine promptly and step() surfaces the error.
+func (e *engine) peekNextEventTime() float64 {
+	if e.jobsLeft == 0 || (len(e.items) == 0 && len(e.timers) == 0) {
+		// step() completes immediately from here (leftover crash/retry
+		// timers in the future are never waited for): price it at now.
+		return e.now
+	}
+	if len(e.timers) > 0 && e.timers[0].at <= e.now+eps {
+		if t := e.timers[0].at; t > e.now {
+			return t
+		}
+		return e.now
+	}
+	e.maybePrefetch()
+	e.computeRatesPass()
+	dt := e.nextDT()
+	if len(e.timers) > 0 {
+		if d := e.timers[0].at - e.now; d < dt {
+			dt = d
+		}
+	}
+	if math.IsInf(dt, 1) {
+		// Deadlock: report "ready now" so the caller steps this engine
+		// next and the step returns the descriptive error.
+		return e.now
+	}
+	if dt < minDT {
+		dt = minDT
+	}
+	return e.now + dt
 }
 
 func (e *engine) finalize() {

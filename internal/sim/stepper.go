@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stepper drives one simulation at event granularity. It exposes the three
+// step primitives of the shared-clock decomposition — HasPendingEvents,
+// PeekNextEventTime, StepNextEvent — so an external runner (the shard
+// merging clock in internal/shardsim, a test harness, a live debugger) can
+// interleave many engines in global timestamp order while each engine's
+// trajectory stays bit-identical to an uninterrupted Run: StepNextEvent is
+// exactly one iteration of the same event loop Run executes, and
+// PeekNextEventTime only performs the mutations that are idempotent at an
+// event boundary (the invariant SnapshotAt/Resume already rely on).
+//
+// A Stepper is single-goroutine: nothing inside is locked. Concurrency
+// lives above it — disjoint steppers on disjoint worlds can be driven from
+// different goroutines because they share no state.
+type Stepper struct {
+	e         *engine
+	done      bool
+	err       error
+	finalized bool
+}
+
+// NewStepper validates the configuration exactly as Run does and returns a
+// stepper positioned before the first event. Driving it until
+// HasPendingEvents is false and then calling Result produces the same
+// *Result (bit for bit) as Run(opt, runs).
+func NewStepper(opt Options, runs []JobRun) (*Stepper, error) {
+	opt, err := prepare(opt, runs)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(opt, runs)
+	e.setup()
+	return &Stepper{e: e}, nil
+}
+
+// Stepper forks the snapshot into a stepper that continues the frozen run
+// at event granularity. Like Resume, it deep-copies the engine, so the
+// snapshot stays reusable; unlike Resume, the caller controls the pace.
+func (s *Snapshot) Stepper() *Stepper {
+	e := s.eng.clone()
+	e.haltSet, e.haltAt, e.halted = false, 0, false
+	return &Stepper{e: e}
+}
+
+// HasPendingEvents reports whether StepNextEvent still has work to do.
+// It turns false after the step that completes (or fatally errors) the run.
+func (s *Stepper) HasPendingEvents() bool { return !s.done }
+
+// Clock returns the current simulated time.
+func (s *Stepper) Clock() float64 { return s.e.now }
+
+// Events returns the number of events processed so far.
+func (s *Stepper) Events() int { return s.e.res.Events }
+
+// PeekNextEventTime returns the simulated time the next StepNextEvent
+// would advance the clock to: the earliest due timer, or the next item
+// completion/availability boundary. A drained stepper peeks +Inf, so a
+// k-way merge over peek times naturally sinks finished worlds; a stepper
+// whose next step would surface an error peeks its current clock, so the
+// merge drains it promptly and the error is reported by StepNextEvent.
+func (s *Stepper) PeekNextEventTime() float64 {
+	if s.done {
+		return math.Inf(1)
+	}
+	return s.e.peekNextEventTime()
+}
+
+// StepNextEvent processes exactly one event. Calling it on a drained
+// stepper returns an error; any simulation error is sticky and also
+// terminates the stepping.
+func (s *Stepper) StepNextEvent() error {
+	if s.done {
+		if s.err != nil {
+			return s.err
+		}
+		return fmt.Errorf("sim: step on a finished run")
+	}
+	done, err := s.e.step()
+	if err != nil {
+		s.done, s.err = true, err
+		return err
+	}
+	s.done = done
+	return nil
+}
+
+// Result finalizes and returns the run's result. It is only valid once
+// HasPendingEvents is false; a run that ended in an error returns it here
+// too. Result may be called repeatedly (the finalize pass runs once).
+func (s *Stepper) Result() (*Result, error) {
+	if !s.done {
+		return nil, fmt.Errorf("sim: result requested with events still pending")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.finalized {
+		s.e.finalize()
+		s.finalized = true
+	}
+	return s.e.res, nil
+}
