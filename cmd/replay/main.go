@@ -38,7 +38,9 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -47,8 +49,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"delaystage/internal/ckpt"
@@ -177,6 +181,13 @@ func main() {
 	variantsFlag := flag.String("variants", "", "comma-separated subset of variants to replay: fuxi,random,default,ascending (default: all)")
 	modelEval := flag.Bool("model-eval", false, "plan with the closed-form model evaluator instead of what-if simulation (needed to replay full-scale traces in minutes)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: the sequential loop stops after
+	// the job in flight (its progress checkpoint already flushed), the
+	// sharded runner drains its workers, and a -linger endpoint wakes up
+	// early — no more dying mid-write on Ctrl-C.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *shards > 0 {
 		if *ckptDir != "" {
@@ -433,7 +444,7 @@ func main() {
 				failed        bool
 			}
 			slots := make([]slot, len(tr.Jobs))
-			err := shardsim.Run(shardsim.Config{Shards: *shards, MaxLive: *shardWindow},
+			err := shardsim.Run(shardsim.Config{Shards: *shards, MaxLive: *shardWindow, Ctx: ctx},
 				len(tr.Jobs),
 				buildWorld,
 				func(i int, res *sim.Result) error {
@@ -452,6 +463,10 @@ func main() {
 					return nil
 				})
 			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Fprintln(os.Stderr, "interrupted; sharded replay has no per-job progress, rerun from scratch")
+					os.Exit(130)
+				}
 				log.Fatal(err)
 			}
 			nsh := *shards
@@ -480,6 +495,20 @@ func main() {
 			p.done = len(tr.Jobs)
 		} else {
 			for i := p.done; i < len(tr.Jobs); i++ {
+				if ctx.Err() != nil {
+					// The previous job's progress is already checkpointed;
+					// stopping here loses nothing a -resume can't recover.
+					done := 0
+					for _, st := range state {
+						done += st.done
+					}
+					fmt.Fprintf(os.Stderr, "interrupted after %d/%d runs", done, len(variants)*len(tr.Jobs))
+					if ckptPath != "" {
+						fmt.Fprintf(os.Stderr, "; resume with -checkpoint-dir %s -resume", *ckptDir)
+					}
+					fmt.Fprintln(os.Stderr)
+					os.Exit(130)
+				}
 				w, err := buildWorld(i)
 				if err != nil {
 					log.Fatal(err)
@@ -573,7 +602,14 @@ func main() {
 	if srv != nil {
 		if *linger > 0 {
 			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *linger, srv.Addr)
-			time.Sleep(*linger)
+			// A signal cuts the linger short; the endpoint still closes
+			// cleanly below.
+			timer := time.NewTimer(*linger)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+			case <-timer.C:
+			}
 		}
 		if err := srv.Close(); err != nil {
 			log.Fatal(err)

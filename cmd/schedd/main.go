@@ -1,0 +1,224 @@
+// Command schedd is the online scheduling service daemon: a long-running
+// control plane / data plane pair (internal/service) that admits, plans
+// and dispatches continuously arriving DAG jobs over an HTTP/JSON API.
+//
+// Usage:
+//
+//	schedd -addr :8080
+//	schedd -addr :8080 -policy token-bucket -rate 0.5 -burst 4
+//	schedd -addr :0 -policy queue-cap -queue-cap 8 -revise-depth 4
+//	schedd -replay trace.csv -once                 # open-loop trace replay
+//	schedd -poisson 50 -arrival-rate 0.02 -once    # synthetic Poisson load
+//
+// API (plus /metrics, /healthz and /debug/pprof from the introspection mux):
+//
+//	POST /v1/jobs      {"tenant":"t","arrival":12.5,"job":{<jobspec JSON>}}
+//	GET  /v1/jobs      every submission
+//	GET  /v1/jobs/{id} one submission's status
+//	GET  /v1/plan/{id} the chosen delay vector and its provenance
+//	GET  /v1/cluster   live data-plane state
+//
+// The built-in load drivers submit through the same service entry point
+// the HTTP handler uses, so admission, template caching and metrics see
+// identical traffic: -replay feeds a batch_task CSV trace (real or from
+// cmd/tracegen) at its recorded arrivals; -poisson N generates N gallery
+// jobs with exponential inter-arrival gaps. After a driver finishes the
+// daemon drains the data plane, prints a JCT summary, and keeps serving
+// until SIGINT/SIGTERM unless -once is set. Shutdown is graceful either
+// way: signals cancel the driver between submissions and the HTTP server
+// closes cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/obs"
+	"delaystage/internal/service"
+	"delaystage/internal/trace"
+	"delaystage/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address (\":0\" picks a free port)")
+	nodes := flag.Int("nodes", 10, "m4.large nodes in the simulated cluster")
+	policy := flag.String("policy", "accept-all", "admission policy: accept-all, token-bucket, queue-cap")
+	rate := flag.Float64("rate", 1, "token-bucket refill rate in jobs per wall-clock second")
+	burst := flag.Float64("burst", 5, "token-bucket burst size per tenant")
+	queueCap := flag.Int("queue-cap", 8, "queue-cap policy: reject when this many jobs are live")
+	reviseDepth := flag.Int("revise-depth", 0, "dispatch submit-when-ready (skip Alg. 1) when the live-job count reaches this (0 = off)")
+	cacheSize := flag.Int("cache-size", 0, "plan-template cache capacity (0 = 512, negative disables)")
+	driftTol := flag.Float64("drift-tol", 0.15, "template validity: max relative per-stage drift on a cache hit")
+	maxCandidates := flag.Int("max-candidates", 16, "delay candidates per stage in the planning sweep")
+	slot := flag.Float64("slot", 1, "delay granularity in seconds")
+	fair := flag.Bool("fair", true, "share resources first equally among jobs (Sec. 5.3)")
+	timescale := flag.Float64("timescale", 1, "simulated seconds per wall-clock second for submissions without an arrival")
+	replayPath := flag.String("replay", "", "open-loop driver: replay this batch_task CSV trace at its recorded arrivals")
+	poisson := flag.Int("poisson", 0, "open-loop driver: submit this many synthetic gallery jobs with Poisson arrivals")
+	arrivalRate := flag.Float64("arrival-rate", 0.01, "Poisson arrival rate λ in jobs per simulated second")
+	seed := flag.Int64("seed", 1, "seed for the Poisson driver's job shapes and gaps")
+	once := flag.Bool("once", false, "exit after the load driver finishes instead of serving until a signal")
+	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: the load driver stops between
+	// submissions, the data plane finishes its current advance, and the
+	// HTTP server shuts down cleanly instead of dying mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := cluster.NewM4LargeCluster(*nodes)
+	var admit service.AdmissionPolicy
+	switch *policy {
+	case "accept-all":
+		admit = service.AcceptAll{}
+	case "token-bucket":
+		admit = service.NewTokenBucket(*rate, *burst)
+	case "queue-cap":
+		admit = service.QueueDepthCap{Max: *queueCap}
+	default:
+		log.Fatalf("unknown -policy %q (want accept-all, token-bucket or queue-cap)", *policy)
+	}
+	svc, err := service.New(service.Options{
+		Cluster:          c,
+		Admission:        admit,
+		DriftTolerance:   *driftTol,
+		ReviseQueueDepth: *reviseDepth,
+		CacheCapacity:    *cacheSize,
+		MaxCandidates:    *maxCandidates,
+		SlotSeconds:      *slot,
+		FairByJob:        *fair,
+		TimeScale:        *timescale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := obs.ServeHandler(*addr, svc.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "schedd: serving on http://%s (policy %s, %d nodes)\n",
+		srv.Addr, admit.Name(), *nodes)
+
+	if *replayPath != "" && *poisson > 0 {
+		log.Fatal("-replay and -poisson are mutually exclusive")
+	}
+	if *replayPath != "" || *poisson > 0 {
+		if err := drive(ctx, svc, c, *replayPath, *poisson, *arrivalRate, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if !*once {
+		// Serve until a signal arrives or the endpoint dies under us.
+		select {
+		case <-ctx.Done():
+		case err := <-srv.Done():
+			if err != nil {
+				log.Fatalf("schedd: http server: %v", err)
+			}
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("schedd: shutdown: %v", err)
+	}
+}
+
+// drive runs the open-loop load driver: submit every job through the same
+// entry point the HTTP handler uses, drain the data plane, and print a
+// completion summary. Cancellation stops between submissions.
+func drive(ctx context.Context, svc *service.Service, c *cluster.Cluster,
+	replayPath string, poisson int, arrivalRate float64, seed int64) error {
+	type arrival struct {
+		job *workload.Job
+		at  float64
+	}
+	var load []arrival
+	switch {
+	case replayPath != "":
+		f, err := os.Open(replayPath)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tr.SortByArrival()
+		base := math.Inf(1)
+		for _, j := range tr.Jobs {
+			base = math.Min(base, j.Arrival)
+		}
+		for i := range tr.Jobs {
+			wl, err := tr.Jobs[i].Workload(c, trace.DefaultSplit, nil)
+			if err != nil {
+				return fmt.Errorf("job %s: %w", tr.Jobs[i].Name, err)
+			}
+			load = append(load, arrival{job: wl, at: tr.Jobs[i].Arrival - base})
+		}
+	default:
+		rng := rand.New(rand.NewSource(seed))
+		gallery := workload.Gallery(c, 1)
+		names := make([]string, 0, len(gallery))
+		for name := range gallery {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		at := 0.0
+		for i := 0; i < poisson; i++ {
+			at += rng.ExpFloat64() / arrivalRate
+			load = append(load, arrival{job: gallery[names[rng.Intn(len(names))]], at: at})
+		}
+	}
+
+	accepted := 0
+	for i, a := range load {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "schedd: driver interrupted after %d/%d submissions\n", i, len(load))
+			return nil
+		}
+		at := a.at
+		st, err := svc.Submit(service.SubmitRequest{Tenant: "driver", Job: a.job, Arrival: &at})
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", a.job.Name, err)
+		}
+		if st.State != service.StateRejected {
+			accepted++
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		return err
+	}
+	var jcts []float64
+	for _, st := range svc.Jobs() {
+		if st.State == service.StateDone {
+			jcts = append(jcts, st.JCT)
+		}
+	}
+	cs := svc.ClusterState()
+	fmt.Fprintf(os.Stderr,
+		"schedd: driver done: %d submitted, %d admitted, %d rejected, %d completed (mean JCT %.1fs), %d epochs\n",
+		cs.Submitted, cs.Admitted, cs.Rejected, cs.Done, mean(jcts), cs.Epoch)
+	return nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}

@@ -20,12 +20,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"reflect"
+	"syscall"
 	"time"
 
 	"delaystage/internal/attr"
@@ -79,6 +83,12 @@ func main() {
 	checkpoint := flag.Float64("checkpoint", -1, "demonstrate checkpoint/fork: snapshot the run just before this simulated time, resume the copy, and verify it is bit-identical to the uninterrupted run (-1 = off)")
 	shardsN := flag.Int("shards", 0, "drive the run through the merging-clock shard runner instead of sim.Run (0 = off); a single workload is one world, so any N clamps to 1 — the flag exercises the exact stepped-engine path the sharded replay uses, with bit-identical results")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: a checkpointed run stops at the
+	// next checkpoint boundary with the file freshly flushed (resumable
+	// with -resume), and a -linger endpoint wakes up early.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	c := cluster.NewM4LargeCluster(*nodes)
 	var job *workload.Job
@@ -215,19 +225,24 @@ func main() {
 		}
 		path := filepath.Join(*ckptDir, "simulate.ckpt")
 		if *resume {
-			res, err = sim.ResumeCheckpointed(opt, runs, path, *ckptEvery)
+			res, err = sim.ResumeCheckpointedCtx(ctx, opt, runs, path, *ckptEvery)
 			switch {
 			case err == nil:
 				fmt.Fprintf(os.Stderr, "resumed from %s\n", path)
 			case os.IsNotExist(err):
 				fmt.Fprintf(os.Stderr, "no checkpoint at %s; starting fresh\n", path)
-				res, err = sim.RunCheckpointed(opt, runs, path, *ckptEvery)
+				res, err = sim.RunCheckpointedCtx(ctx, opt, runs, path, *ckptEvery)
 			case ckpt.IsFormat(err):
 				fmt.Fprintf(os.Stderr, "unusable checkpoint (%v); starting fresh\n", err)
-				res, err = sim.RunCheckpointed(opt, runs, path, *ckptEvery)
+				res, err = sim.RunCheckpointedCtx(ctx, opt, runs, path, *ckptEvery)
 			}
 		} else {
-			res, err = sim.RunCheckpointed(opt, runs, path, *ckptEvery)
+			res, err = sim.RunCheckpointedCtx(ctx, opt, runs, path, *ckptEvery)
+		}
+		if err != nil && errors.Is(err, context.Canceled) {
+			// Interrupted between checkpoints: the last one is on disk.
+			fmt.Fprintf(os.Stderr, "interrupted (%v); re-run with -resume to continue\n", err)
+			os.Exit(130)
 		}
 	} else {
 		if *resume {
@@ -356,7 +371,14 @@ func main() {
 			obs.ExpBuckets(10, 2, 10)).Observe(res.Makespan)
 		if *linger > 0 {
 			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *linger, srv.Addr)
-			time.Sleep(*linger)
+			// A signal cuts the linger short; the endpoint still closes
+			// cleanly below.
+			timer := time.NewTimer(*linger)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+			case <-timer.C:
+			}
 		}
 		if err := srv.Close(); err != nil {
 			log.Fatal(err)

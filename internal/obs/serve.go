@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -45,23 +46,54 @@ type Server struct {
 	// Addr is the bound address, with the real port when ":0" was asked.
 	Addr string
 	srv  *http.Server
+	done chan error
 }
 
 // Serve binds addr (e.g. ":9090", "localhost:0") and serves reg's
 // introspection endpoints in a background goroutine until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, NewIntrospectionMux(reg))
+}
+
+// ServeHandler is Serve for an arbitrary handler: the scheduler daemon
+// layers its job API on top of the introspection mux and serves both
+// through one Server. The http.Server carries a header-read timeout so a
+// client that opens a connection and never finishes its headers
+// (slowloris) cannot pin a goroutine forever.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: introspection listen: %w", err)
 	}
-	srv := &http.Server{Handler: NewIntrospectionMux(reg)}
-	go srv.Serve(ln)
-	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, done: make(chan error, 1)}
+	go func() {
+		// Serve's error used to be dropped on the floor; surface it. A
+		// Close-triggered exit is the expected shutdown, not an error.
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.done <- err
+		close(s.done)
+	}()
+	return s, nil
 }
 
-// Close shuts the server down, waiting briefly for in-flight scrapes.
+// Done reports the background serve goroutine's exit: it yields nil after
+// a clean Close, or the serve error if the listener failed. Long-running
+// daemons select on it next to their signal context so a dying endpoint
+// is noticed instead of silently gone.
+func (s *Server) Done() <-chan error { return s.done }
+
+// Close shuts the server down, waiting briefly for in-flight scrapes. It
+// propagates shutdown errors, and any error the serve loop exited with.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	if serr := <-s.done; serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }

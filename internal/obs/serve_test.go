@@ -144,3 +144,60 @@ func TestServeLifecycle(t *testing.T) {
 		t.Error("server still reachable after Close")
 	}
 }
+
+// Done yields nil after a clean Close, and the serve goroutine must have
+// exited by the time Close returns (no dropped serve errors).
+func TestServeDoneCleanShutdown(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-s.Done():
+		t.Fatalf("Done fired before Close: %v", err)
+	default:
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close, Done is closed and reads nil forever.
+	if err, ok := <-s.Done(); ok && err != nil {
+		t.Fatalf("Done after Close: %v", err)
+	}
+}
+
+// ServeHandler serves the caller's handler, with the introspection mux
+// free to be layered inside it.
+func TestServeHandlerCustomRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("answer", "", "the answer").Set(42)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", NewIntrospectionMux(reg))
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	s, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "pong" {
+		t.Fatalf("/v1/ping = %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "answer 42\n") {
+		t.Fatalf("/metrics missing gauge: %q", body)
+	}
+}

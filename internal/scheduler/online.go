@@ -34,20 +34,66 @@ type OnlineOptions struct {
 	FairByJob bool
 }
 
-// PlanOnline plans every job in arrival order and returns the runs ready
-// for sim.Run. len(jobs) must equal len(arrivals); arrivals must be
-// non-decreasing (sort first if needed).
-func PlanOnline(opt OnlineOptions, jobs []*workload.Job, arrivals []float64) ([]sim.JobRun, error) {
+// InvalidArrivalError reports an arrival time the planner cannot accept:
+// NaN, ±Inf or negative. NaN is the treacherous case — it slips past a
+// plain monotonicity check (`a[i] < a[i-1]` is false for NaN) and then
+// poisons every JCT sum downstream — so arrivals are vetted explicitly
+// and the rejection is typed for callers (the scheduling service maps it
+// to a 400 response).
+type InvalidArrivalError struct {
+	// Index is the position in the submitted arrivals (0 for single
+	// submissions).
+	Index int
+	Value float64
+}
+
+// Error implements error.
+func (e *InvalidArrivalError) Error() string {
+	return fmt.Sprintf("scheduler: arrival %d is %v (must be finite and ≥ 0)", e.Index, e.Value)
+}
+
+// checkArrival vets one arrival value; index only shapes the message.
+func checkArrival(index int, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return &InvalidArrivalError{Index: index, Value: v}
+	}
+	return nil
+}
+
+// CheckArrival vets a single arrival value the way PlanOnline does —
+// exported so the scheduling service's submit handler can reject NaN/Inf
+// before admission instead of discovering it deep in the planner.
+func CheckArrival(v float64) error { return checkArrival(0, v) }
+
+// OnlinePlanner plans continuously arriving jobs one at a time against
+// the runs already committed — the incremental core of PlanOnline,
+// exposed so a long-running scheduler daemon (internal/service) can admit
+// and plan jobs as they arrive instead of replanning the whole batch.
+//
+// Not safe for concurrent use; callers serialize (the service's planning
+// stage holds its own lock).
+type OnlinePlanner struct {
+	opt    OnlineOptions
+	coarse *cluster.Cluster
+	model  *perfmodel.Model
+
+	committed []sim.JobRun
+	// scratch is reused across the thousands of candidate evaluations one
+	// planning pass makes (sim.Run does not retain it): committed only
+	// grows when a job is sealed, so per candidate only the last element
+	// changes.
+	scratch []sim.JobRun
+	// last is the highest arrival committed so far; Add and Commit
+	// enforce non-decreasing submission order. It survives Reset so a new
+	// busy-period epoch cannot rewind time.
+	last float64
+}
+
+// NewOnlinePlanner validates the configuration and returns an empty
+// planner.
+func NewOnlinePlanner(opt OnlineOptions) (*OnlinePlanner, error) {
 	if opt.Cluster == nil {
 		return nil, fmt.Errorf("scheduler: nil cluster")
-	}
-	if len(jobs) != len(arrivals) {
-		return nil, fmt.Errorf("scheduler: %d jobs but %d arrivals", len(jobs), len(arrivals))
-	}
-	for i := 1; i < len(arrivals); i++ {
-		if arrivals[i] < arrivals[i-1] {
-			return nil, fmt.Errorf("scheduler: arrivals must be non-decreasing")
-		}
 	}
 	if opt.SlotSeconds <= 0 {
 		opt.SlotSeconds = 1
@@ -60,109 +106,182 @@ func PlanOnline(opt OnlineOptions, jobs []*workload.Job, arrivals []float64) ([]
 	if err != nil {
 		return nil, err
 	}
+	return &OnlinePlanner{opt: opt, coarse: coarse, model: model}, nil
+}
 
-	committed := make([]sim.JobRun, 0, len(jobs))
-	// evalTotal simulates the committed runs plus the candidate and
-	// returns Σ (end − arrival) over all jobs. The run slice is scratch
-	// reused across the thousands of candidate evaluations one planning
-	// pass makes (sim.Run does not retain it): committed only grows when a
-	// job is sealed, so per candidate only the last element changes.
-	scratch := make([]sim.JobRun, 0, len(jobs)+1)
-	evalTotal := func(candidate sim.JobRun) (float64, error) {
-		scratch = append(append(scratch[:0], committed...), candidate)
-		runs := scratch
-		res, err := sim.Run(sim.Options{Cluster: coarse, TrackNode: -1, FairByJob: opt.FairByJob}, runs)
-		if err != nil {
-			return 0, err
-		}
-		total := 0.0
-		for i := range runs {
-			total += res.JCT(i)
-		}
-		return total, nil
+// Committed returns the runs planned so far, in arrival order, ready for
+// sim.Run. The slice is a view: it grows on the next Add/Commit.
+func (p *OnlinePlanner) Committed() []sim.JobRun { return p.committed }
+
+// LastArrival returns the highest arrival committed so far.
+func (p *OnlinePlanner) LastArrival() float64 { return p.last }
+
+// Reset drops every committed run while keeping the arrival watermark.
+// Only valid when the caller knows the cluster is idle (every committed
+// job has finished): completed jobs' JCTs are constants of the objective
+// and jobs that no longer overlap any live run cannot perturb a
+// newcomer's evaluation, so dropping them bounds planning cost by the
+// busy-period length instead of the daemon's lifetime.
+func (p *OnlinePlanner) Reset() {
+	p.committed = p.committed[:0]
+	p.scratch = p.scratch[:0]
+}
+
+// Commit appends an externally planned run — a plan-template cache hit or
+// a queue-revision decision — without running the delay sweep, so later
+// arrivals are planned against it.
+func (p *OnlinePlanner) Commit(job *workload.Job, arrival float64, delays map[dag.StageID]float64) (sim.JobRun, error) {
+	if err := p.admit(job, arrival); err != nil {
+		return sim.JobRun{}, err
+	}
+	run := sim.JobRun{Job: job, Arrival: arrival, Delays: delays}
+	p.committed = append(p.committed, run)
+	p.last = arrival
+	return run, nil
+}
+
+// admit vets one (job, arrival) pair against the planner's invariants.
+func (p *OnlinePlanner) admit(job *workload.Job, arrival float64) error {
+	if job == nil {
+		return fmt.Errorf("scheduler: job %d is nil", len(p.committed))
+	}
+	if err := job.Validate(); err != nil {
+		return fmt.Errorf("scheduler: job %d: %w", len(p.committed), err)
+	}
+	if err := checkArrival(len(p.committed), arrival); err != nil {
+		return err
+	}
+	if arrival < p.last {
+		return fmt.Errorf("scheduler: arrivals must be non-decreasing (%v after %v)", arrival, p.last)
+	}
+	return nil
+}
+
+// evalTotal simulates the committed runs plus the candidate and returns
+// Σ (end − arrival) over all jobs.
+func (p *OnlinePlanner) evalTotal(candidate sim.JobRun) (float64, error) {
+	p.scratch = append(append(p.scratch[:0], p.committed...), candidate)
+	runs := p.scratch
+	res, err := sim.Run(sim.Options{Cluster: p.coarse, TrackNode: -1, FairByJob: p.opt.FairByJob}, runs)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := range runs {
+		total += res.JCT(i)
+	}
+	return total, nil
+}
+
+// Add plans one job against the committed runs, commits it and returns
+// the planned run. The delay sweep minimizes the sum of completion times
+// over every committed job plus the newcomer.
+func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, error) {
+	if err := p.admit(job, arrival); err != nil {
+		return sim.JobRun{}, err
+	}
+	reach, err := dag.NewReachability(job.Graph)
+	if err != nil {
+		return sim.JobRun{}, err
+	}
+	solo := p.model.SoloTimes(job)
+	weight := func(id dag.StageID) float64 { return solo[id] }
+	k := dag.ParallelStages(job.Graph, reach)
+	run := sim.JobRun{Job: job, Arrival: arrival}
+	if len(k) == 0 {
+		p.committed = append(p.committed, run)
+		p.last = arrival
+		return run, nil
+	}
+	paths := dag.ExecutionPaths(job.Graph, reach, weight)
+	switch p.opt.Order {
+	case core.Ascending:
+		dag.SortPathsAscending(paths, weight)
+	default:
+		dag.SortPathsDescending(paths, weight)
 	}
 
-	for i, job := range jobs {
-		if err := job.Validate(); err != nil {
-			return nil, fmt.Errorf("scheduler: job %d: %w", i, err)
-		}
-		reach, err := dag.NewReachability(job.Graph)
-		if err != nil {
-			return nil, err
-		}
-		solo := model.SoloTimes(job)
-		weight := func(id dag.StageID) float64 { return solo[id] }
-		k := dag.ParallelStages(job.Graph, reach)
-		run := sim.JobRun{Job: job, Arrival: arrivals[i]}
-		if len(k) == 0 {
-			committed = append(committed, run)
-			continue
-		}
-		paths := dag.ExecutionPaths(job.Graph, reach, weight)
-		switch opt.Order {
-		case core.Ascending:
-			dag.SortPathsAscending(paths, weight)
-		default:
-			dag.SortPathsDescending(paths, weight)
-		}
-
-		delays := map[dag.StageID]float64{}
-		run.Delays = delays
-		stockTotal, err := evalTotal(run)
-		if err != nil {
-			return nil, err
-		}
-		best := stockTotal
-		soloSum := 0.0
-		for _, id := range k {
-			soloSum += solo[id]
-		}
-		// Two sweeps: greedy then one refinement (staleness correction).
-		for pass := 0; pass < 2; pass++ {
-			seen := map[dag.StageID]bool{}
-			for _, p := range paths {
-				for _, kid := range p.Stages {
-					if seen[kid] {
-						continue
+	delays := map[dag.StageID]float64{}
+	run.Delays = delays
+	stockTotal, err := p.evalTotal(run)
+	if err != nil {
+		return sim.JobRun{}, err
+	}
+	best := stockTotal
+	soloSum := 0.0
+	for _, id := range k {
+		soloSum += solo[id]
+	}
+	// Two sweeps: greedy then one refinement (staleness correction).
+	for pass := 0; pass < 2; pass++ {
+		seen := map[dag.StageID]bool{}
+		for _, path := range paths {
+			for _, kid := range path.Stages {
+				if seen[kid] {
+					continue
+				}
+				seen[kid] = true
+				upper := math.Max(0, soloSum-solo[kid])
+				n := int(upper/p.opt.SlotSeconds) + 1
+				if n > p.opt.MaxCandidates {
+					n = p.opt.MaxCandidates
+				}
+				step := upper
+				if n > 1 {
+					step = upper / float64(n-1)
+				}
+				bestDelay := delays[kid]
+				for c := 0; c < n; c++ {
+					x := float64(c) * step
+					delays[kid] = x
+					tot, err := p.evalTotal(run)
+					if err != nil {
+						return sim.JobRun{}, err
 					}
-					seen[kid] = true
-					upper := math.Max(0, soloSum-solo[kid])
-					n := int(upper/opt.SlotSeconds) + 1
-					if n > opt.MaxCandidates {
-						n = opt.MaxCandidates
+					if tot < best-1e-9 {
+						best = tot
+						bestDelay = x
 					}
-					step := upper
-					if n > 1 {
-						step = upper / float64(n-1)
-					}
-					bestDelay := delays[kid]
-					for c := 0; c < n; c++ {
-						x := float64(c) * step
-						delays[kid] = x
-						tot, err := evalTotal(run)
-						if err != nil {
-							return nil, err
-						}
-						if tot < best-1e-9 {
-							best = tot
-							bestDelay = x
-						}
-					}
-					if bestDelay == 0 {
-						delete(delays, kid)
-					} else {
-						delays[kid] = bestDelay
-					}
+				}
+				if bestDelay == 0 {
+					delete(delays, kid)
+				} else {
+					delays[kid] = bestDelay
 				}
 			}
 		}
-		// Never worse than submitting everything immediately.
-		if best > stockTotal {
-			run.Delays = nil
-		}
-		committed = append(committed, run)
 	}
-	return committed, nil
+	// Never worse than submitting everything immediately: when the sweep
+	// beat stock by less than tolerance (or not at all), commit nil delays
+	// so the run is indistinguishable from submit-when-ready. (best starts
+	// at stockTotal and only decreases, so the former `best > stockTotal`
+	// form of this guard could never fire.)
+	if len(delays) == 0 || best >= stockTotal-1e-9 {
+		run.Delays = nil
+	}
+	p.committed = append(p.committed, run)
+	p.last = arrival
+	return run, nil
+}
+
+// PlanOnline plans every job in arrival order and returns the runs ready
+// for sim.Run. len(jobs) must equal len(arrivals); arrivals must be
+// finite, non-negative (*InvalidArrivalError otherwise) and non-decreasing
+// (sort first if needed).
+func PlanOnline(opt OnlineOptions, jobs []*workload.Job, arrivals []float64) ([]sim.JobRun, error) {
+	if len(jobs) != len(arrivals) {
+		return nil, fmt.Errorf("scheduler: %d jobs but %d arrivals", len(jobs), len(arrivals))
+	}
+	p, err := NewOnlinePlanner(opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, job := range jobs {
+		if _, err := p.Add(job, arrivals[i]); err != nil {
+			return nil, err
+		}
+	}
+	return p.Committed(), nil
 }
 
 // RunOnline plans online and simulates the outcome in one call.

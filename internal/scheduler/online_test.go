@@ -1,7 +1,10 @@
 package scheduler
 
 import (
+	"errors"
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"delaystage/internal/cluster"
@@ -103,5 +106,166 @@ func TestOnlineSequentialJobsNoDelays(t *testing.T) {
 		if len(r.Delays) != 0 {
 			t.Fatalf("run %d has delays %v for a single-stage job", i, r.Delays)
 		}
+	}
+}
+
+// Regression: `arrivals[i] < arrivals[i-1]` is false when either side is
+// NaN, so a NaN arrival used to slip past the monotonicity check and
+// poison every JCT sum. The planner must reject non-finite and negative
+// arrivals with a typed *InvalidArrivalError.
+func TestPlanOnlineArrivalEdgeCases(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	j := workload.LDA(c, 0.1)
+	cases := []struct {
+		name     string
+		arrivals []float64
+		wantBad  int // index reported by the typed error (-1: plain error)
+	}{
+		{"nan first", []float64{math.NaN()}, 0},
+		{"nan after valid", []float64{0, 5, math.NaN()}, 2},
+		{"nan between valid", []float64{0, math.NaN(), 10}, 1},
+		{"+inf", []float64{0, math.Inf(1)}, 1},
+		{"-inf", []float64{math.Inf(-1), 0}, 0},
+		{"negative", []float64{-1, 0}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jobs := make([]*workload.Job, len(tc.arrivals))
+			for i := range jobs {
+				jobs[i] = j
+			}
+			_, err := PlanOnline(OnlineOptions{Cluster: c}, jobs, tc.arrivals)
+			if err == nil {
+				t.Fatalf("arrivals %v accepted", tc.arrivals)
+			}
+			var ae *InvalidArrivalError
+			if !errors.As(err, &ae) {
+				t.Fatalf("got %T (%v), want *InvalidArrivalError", err, err)
+			}
+			if ae.Index != tc.wantBad {
+				t.Errorf("error blames arrival %d, want %d (%v)", ae.Index, tc.wantBad, err)
+			}
+		})
+	}
+}
+
+// Table-driven sweep of the degenerate inputs PlanOnline must handle
+// without planning anything.
+func TestPlanOnlineDegenerateInputs(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	chain := workload.RandomJob("chain", c, 1, rand.New(rand.NewSource(1)))
+	cases := []struct {
+		name     string
+		jobs     []*workload.Job
+		arrivals []float64
+		wantErr  bool
+		wantRuns int
+	}{
+		{"zero jobs", nil, nil, false, 0},
+		{"single chain job", []*workload.Job{chain}, []float64{0}, false, 1},
+		{"nil job", []*workload.Job{nil}, []float64{0}, true, 0},
+		{"length mismatch", []*workload.Job{chain}, []float64{0, 1}, true, 0},
+		{"decreasing arrivals", []*workload.Job{chain, chain}, []float64{10, 5}, true, 0},
+		{"equal arrivals ok", []*workload.Job{chain, chain}, []float64{7, 7}, false, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runs, err := PlanOnline(OnlineOptions{Cluster: c}, tc.jobs, tc.arrivals)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error, got none")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runs) != tc.wantRuns {
+				t.Fatalf("got %d runs, want %d", len(runs), tc.wantRuns)
+			}
+			for i, r := range runs {
+				// Single-stage DAGs have no parallel stages to delay.
+				if len(r.Delays) != 0 {
+					t.Errorf("run %d has delays %v", i, r.Delays)
+				}
+			}
+		})
+	}
+}
+
+// Regression for the unreachable "never worse" guard: best starts at
+// stockTotal and only ever decreases, so the old `best > stockTotal`
+// check could never fire and a no-win sweep committed an empty non-nil
+// map instead of the nil that marks submit-when-ready. MaxCandidates=1
+// forces a no-win sweep (the only candidate per stage is delay 0).
+func TestPlanOnlineNoWinSweepCommitsNilDelays(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	j := workload.CosineSimilarity(c, 0.15) // has parallel stages
+	runs, err := PlanOnline(OnlineOptions{Cluster: c, MaxCandidates: 1},
+		[]*workload.Job{j}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Delays != nil {
+		t.Fatalf("no-win sweep committed %#v, want nil delays", runs[0].Delays)
+	}
+}
+
+// The incremental planner must reproduce the batch PlanOnline exactly:
+// same jobs, same arrivals, same delay vectors byte for byte.
+func TestOnlinePlannerMatchesBatch(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	rng := rand.New(rand.NewSource(9))
+	var jobs []*workload.Job
+	var arrivals []float64
+	at := 0.0
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, workload.RandomJob("inc", c, 5+rng.Intn(4), rng))
+		arrivals = append(arrivals, at)
+		at += 50
+	}
+	opt := OnlineOptions{Cluster: c, MaxCandidates: 8}
+	batch, err := PlanOnline(opt, jobs, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewOnlinePlanner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if _, err := p.Add(jobs[i], arrivals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(batch, p.Committed()) {
+		t.Fatalf("incremental plan diverged from batch:\n%v\nvs\n%v", p.Committed(), batch)
+	}
+}
+
+// Reset drops committed runs but keeps the arrival watermark: a new
+// busy-period epoch cannot rewind time.
+func TestOnlinePlannerResetKeepsWatermark(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	chain := workload.RandomJob("chain", c, 1, rand.New(rand.NewSource(2)))
+	p, err := NewOnlinePlanner(OnlineOptions{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add(chain, 100); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if len(p.Committed()) != 0 {
+		t.Fatal("Reset left committed runs")
+	}
+	if _, err := p.Add(chain, 50); err == nil {
+		t.Fatal("arrival before the watermark accepted after Reset")
+	}
+	if _, err := p.Commit(chain, 120, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.LastArrival() != 120 {
+		t.Fatalf("watermark %v, want 120", p.LastArrival())
 	}
 }

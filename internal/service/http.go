@@ -1,0 +1,164 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"delaystage/internal/jobspec"
+	"delaystage/internal/obs"
+	"delaystage/internal/scheduler"
+)
+
+// HTTP/JSON API, layered on the obs introspection mux:
+//
+//	POST /v1/jobs      submit {"tenant","arrival","job":{jobspec}}
+//	GET  /v1/jobs      all submissions
+//	GET  /v1/jobs/{id} one submission's status
+//	GET  /v1/plan/{id} the chosen delay vector
+//	GET  /v1/cluster   live data-plane state
+//	GET  /metrics      Prometheus text (plus /healthz, /debug/pprof/*)
+//
+// Submit returns 200 on acceptance, 429 on an admission bounce (body
+// carries the policy's reason), 400 on malformed input — including the
+// NaN/Inf arrival vetting shared with the planner.
+
+// submitBody is the POST /v1/jobs request payload. Job is kept raw so
+// jobspec.Parse applies its own validation and error messages.
+type submitBody struct {
+	Tenant  string          `json:"tenant"`
+	Arrival *float64        `json:"arrival"`
+	Job     json.RawMessage `json:"job"`
+}
+
+// errorBody is every non-2xx response payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API with the introspection endpoints
+// layered in, ready for obs.ServeHandler or httptest.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/plan/{id}", s.handlePlan)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.Handle("/", obs.NewIntrospectionMux(s.reg))
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with a per-request counter by status code.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		s.reg.Counter("schedd_http_requests_total",
+			fmt.Sprintf("{method=%q,code=\"%d\"}", r.Method, cw.code),
+			"HTTP requests by method and status code.").Inc()
+	})
+}
+
+// codeWriter records the status code written to a ResponseWriter.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(body.Job) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"job\""))
+		return
+	}
+	spec, err := jobspec.Parse(bytes.NewReader(body.Job))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := spec.Job(s.opt.Cluster)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(SubmitRequest{Tenant: body.Tenant, Job: job, Arrival: body.Arrival})
+	if err != nil {
+		code := http.StatusInternalServerError
+		var ae *scheduler.InvalidArrivalError
+		if errors.As(err, &ae) {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
+		return
+	}
+	if st.State == StateRejected {
+		writeJSON(w, http.StatusTooManyRequests, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if err := s.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	ps, ok := s.Plan(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no plan for job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, ps)
+}
+
+func (s *Service) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ClusterState())
+}

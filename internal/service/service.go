@@ -1,0 +1,647 @@
+// Package service is the online scheduling service: the long-running
+// control plane / data plane pair behind cmd/schedd.
+//
+// The control plane runs each arriving job through an admission stage
+// (pluggable AdmissionPolicy), then a planning stage that reuses the
+// online DelayStage objective (scheduler.OnlinePlanner — minimize the sum
+// of completion times over every live job, Sec. 6) with a plan-template
+// cache in front so recurring DAG shapes skip Alg. 1 on the hot path.
+//
+// The data plane is a shared simulated cluster advanced between arrivals
+// with sim.Stepper — the step primitives' first policy-observes-live-state
+// consumer: the queue depth a policy sees, and the queue-length delay
+// revision at dispatch, read the world exactly as of the arrival instant.
+//
+// State is bounded by busy-period epochs: when the stepper drains (every
+// admitted job finished), completed runs are constants of the objective
+// and cannot perturb later planning, so the planner and world reset.
+package service
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/core"
+	"delaystage/internal/dag"
+	"delaystage/internal/obs"
+	"delaystage/internal/scheduler"
+	"delaystage/internal/sim"
+	"delaystage/internal/workload"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Cluster is the cluster jobs are planned for (required).
+	Cluster *cluster.Cluster
+	// Admission gates arriving jobs (nil = AcceptAll).
+	Admission AdmissionPolicy
+	// Registry receives the service metrics (nil = a private registry).
+	Registry *obs.Registry
+	// Order / SlotSeconds / MaxCandidates / FairByJob mirror
+	// scheduler.OnlineOptions.
+	Order         core.Order
+	SlotSeconds   float64
+	MaxCandidates int
+	FairByJob     bool
+	// DriftTolerance is the template-validity threshold: a cache hit is
+	// reused only when a solo simulation under the cached delays keeps
+	// every stage's end within this relative deviation of the stored
+	// prediction (the guarded watchdog's drift test; 0 = 0.15).
+	DriftTolerance float64
+	// ReviseQueueDepth enables queue-length-aware delay revision: when the
+	// live-job count at an arrival is ≥ this, the job dispatches
+	// submit-when-ready (nil delays) without running Alg. 1 — under deep
+	// queues a delay only adds latency on top of contention the objective
+	// already penalizes. 0 disables revision.
+	ReviseQueueDepth int
+	// CacheCapacity bounds the plan-template cache (0 = 512; negative
+	// disables caching).
+	CacheCapacity int
+	// TimeScale is simulated seconds per wall-clock second, used to derive
+	// the arrival time of submissions that do not carry one (0 = 1).
+	TimeScale float64
+	// Clock supplies wall time (nil = time.Now; tests inject).
+	Clock func() time.Time
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states, in the order a job moves through them.
+const (
+	StateRejected JobState = "rejected" // bounced by admission
+	StateQueued   JobState = "queued"   // admitted, arrival not yet reached
+	StateRunning  JobState = "running"  // arrival reached, not finished
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+)
+
+// JobStatus is a JSON-ready snapshot of one submission.
+type JobStatus struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	Tenant     string   `json:"tenant,omitempty"`
+	State      JobState `json:"state"`
+	Reason     string   `json:"reason,omitempty"`
+	Stages     int      `json:"stages"`
+	Arrival    float64  `json:"arrival"`
+	End        float64  `json:"end,omitempty"`
+	JCT        float64  `json:"jct,omitempty"`
+	PlanSource string   `json:"plan_source,omitempty"`
+	CacheHit   bool     `json:"cache_hit,omitempty"`
+	Revised    bool     `json:"revised,omitempty"`
+	Epoch      int      `json:"epoch"`
+}
+
+// PlanStatus is the chosen delay vector of one admitted job.
+type PlanStatus struct {
+	ID     string `json:"id"`
+	Source string `json:"source"` // "planner" | "template-cache" | "queue-revision"
+	// CacheHit / Revised mirror the JobStatus flags.
+	CacheHit bool `json:"cache_hit"`
+	Revised  bool `json:"revised"`
+	// Fingerprint is the job's template key, hex-encoded.
+	Fingerprint string `json:"fingerprint"`
+	// Delays maps stage ID → extra seconds held after ready. Empty means
+	// submit-when-ready.
+	Delays map[string]float64 `json:"delays"`
+}
+
+// ClusterState is the live data-plane snapshot behind GET /v1/cluster.
+type ClusterState struct {
+	SimClock     float64 `json:"sim_clock"`
+	Epoch        int     `json:"epoch"`
+	EpochEvents  int     `json:"epoch_events"`
+	Nodes        int     `json:"nodes"`
+	Executors    int     `json:"executors"`
+	Policy       string  `json:"admission_policy"`
+	Submitted    int     `json:"submitted"`
+	Admitted     int     `json:"admitted"`
+	Rejected     int     `json:"rejected"`
+	Done         int     `json:"done"`
+	Failed       int     `json:"failed"`
+	Live         int     `json:"live"`
+	CacheEntries int     `json:"cache_entries"`
+}
+
+// SubmitRequest is one job submission.
+type SubmitRequest struct {
+	Tenant string
+	Job    *workload.Job
+	// Arrival is the simulated arrival time; nil means "now" (wall time
+	// since service start, scaled by TimeScale). Arrivals are clamped
+	// forward to the already-simulated clock and the planner watermark —
+	// a job cannot arrive in the observed past.
+	Arrival *float64
+}
+
+// jobRecord is the service's mutable per-submission state.
+type jobRecord struct {
+	id         string
+	name       string
+	tenant     string
+	stages     int
+	state      JobState
+	reason     string
+	arrival    float64
+	end        float64
+	jct        float64
+	planSource string
+	cacheHit   bool
+	revised    bool
+	fp         uint64
+	delays     map[dag.StageID]float64
+	epoch      int
+}
+
+// Service is the scheduler daemon's engine. All methods are safe for
+// concurrent use; one mutex serializes the control and data planes.
+type Service struct {
+	opt       Options
+	admission AdmissionPolicy
+	reg       *obs.Registry
+	coarse    *cluster.Cluster
+	clock     func() time.Time
+	start     time.Time
+
+	mu        sync.Mutex
+	planner   *scheduler.OnlinePlanner
+	cache     *templateCache
+	jobs      map[string]*jobRecord
+	history   []*jobRecord
+	nextID    int
+	epoch     int
+	epochRecs []*jobRecord // parallel to planner.Committed()
+	stepper   *sim.Stepper
+	simClock  float64
+	counts    struct{ submitted, admitted, rejected, done, failed int }
+
+	mSubmitted, mAdmitted, mRejected     *obs.Counter
+	mCacheHit, mCacheMiss, mCacheInvalid *obs.Counter
+	mRevised, mEpochs                    *obs.Counter
+	mPlanSec, mJCT                       *obs.Histogram
+	gLive, gSimClock, gCacheSize         *obs.Gauge
+}
+
+// New validates the configuration and returns an idle service.
+func New(opt Options) (*Service, error) {
+	if opt.Cluster == nil {
+		return nil, fmt.Errorf("service: nil cluster")
+	}
+	planner, err := scheduler.NewOnlinePlanner(scheduler.OnlineOptions{
+		Cluster:       opt.Cluster,
+		Order:         opt.Order,
+		SlotSeconds:   opt.SlotSeconds,
+		MaxCandidates: opt.MaxCandidates,
+		FairByJob:     opt.FairByJob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.Admission == nil {
+		opt.Admission = AcceptAll{}
+	}
+	if opt.Registry == nil {
+		opt.Registry = obs.NewRegistry()
+	}
+	if opt.DriftTolerance <= 0 {
+		opt.DriftTolerance = 0.15
+	}
+	if opt.TimeScale <= 0 {
+		opt.TimeScale = 1
+	}
+	if opt.Clock == nil {
+		opt.Clock = time.Now
+	}
+	s := &Service{
+		opt:       opt,
+		admission: opt.Admission,
+		reg:       opt.Registry,
+		coarse:    sim.Coarsen(opt.Cluster),
+		clock:     opt.Clock,
+		planner:   planner,
+		jobs:      map[string]*jobRecord{},
+	}
+	s.start = s.clock()
+	switch {
+	case opt.CacheCapacity == 0:
+		s.cache = newTemplateCache(512)
+	case opt.CacheCapacity > 0:
+		s.cache = newTemplateCache(opt.CacheCapacity)
+	}
+	reg := s.reg
+	policy := fmt.Sprintf("{policy=%q}", s.admission.Name())
+	s.mSubmitted = reg.Counter("schedd_jobs_submitted_total", "", "Jobs submitted (any outcome).")
+	s.mAdmitted = reg.Counter("schedd_jobs_admitted_total", policy, "Jobs passed by the admission policy.")
+	s.mRejected = reg.Counter("schedd_jobs_rejected_total", policy, "Jobs bounced by the admission policy.")
+	s.mCacheHit = reg.Counter("schedd_plan_cache_hits_total", "", "Plan-template cache hits (drift-valid reuse).")
+	s.mCacheMiss = reg.Counter("schedd_plan_cache_misses_total", "", "Plan-template cache misses (cold Alg. 1 sweep).")
+	s.mCacheInvalid = reg.Counter("schedd_plan_cache_invalid_total", "", "Cache hits discarded by the drift test.")
+	s.mRevised = reg.Counter("schedd_plan_revised_total", "", "Plans revised to submit-when-ready by queue depth.")
+	s.mEpochs = reg.Counter("schedd_epochs_total", "", "Busy-period epochs completed (world drained).")
+	s.mPlanSec = reg.Histogram("schedd_planning_seconds", "",
+		"Wall-clock latency of one Alg. 1 planning sweep.", obs.ExpBuckets(1e-4, 2, 16))
+	s.mJCT = reg.Histogram("schedd_job_jct_seconds", "",
+		"Simulated job completion times.", obs.ExpBuckets(1, 2, 20))
+	s.gLive = reg.Gauge("schedd_jobs_live", "", "Admitted jobs not yet finished.")
+	s.gSimClock = reg.Gauge("schedd_sim_clock_seconds", "", "Simulated clock high-water mark.")
+	s.gCacheSize = reg.Gauge("schedd_plan_cache_entries", "", "Plan templates currently cached.")
+	return s, nil
+}
+
+// Registry returns the registry the service's metrics live in.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// epochObserver marks job records terminal as the data plane steps past
+// their completion events. It runs synchronously inside StepNextEvent,
+// under the service mutex, so it touches service state directly.
+type epochObserver struct{ s *Service }
+
+// OnEvent implements sim.Observer.
+func (o *epochObserver) OnEvent(ev sim.Event) {
+	if ev.Kind != sim.EvJobDone && ev.Kind != sim.EvJobFailed {
+		return
+	}
+	if ev.Job < 0 || ev.Job >= len(o.s.epochRecs) {
+		return
+	}
+	o.s.markTerminal(o.s.epochRecs[ev.Job], ev.T, ev.Kind == sim.EvJobFailed, ev.Detail)
+}
+
+// markTerminal transitions a record to done/failed exactly once. Stepper
+// rebuilds replay the epoch prefix deterministically, so the same
+// completion event fires again; the state check makes that idempotent.
+func (s *Service) markTerminal(rec *jobRecord, t float64, failed bool, detail string) {
+	if rec.state == StateDone || rec.state == StateFailed {
+		return
+	}
+	rec.end = t
+	rec.jct = t - rec.arrival
+	if failed {
+		rec.state = StateFailed
+		rec.reason = detail
+		s.counts.failed++
+	} else {
+		rec.state = StateDone
+		s.counts.done++
+		s.mJCT.Observe(rec.jct)
+	}
+}
+
+// liveCount is the number of admitted jobs not yet terminal.
+func (s *Service) liveCount() int {
+	return s.counts.admitted - s.counts.done - s.counts.failed
+}
+
+// rebuild replaces the stepper with a fresh one over the epoch's committed
+// runs. The replayed prefix is deterministic, so records already marked
+// terminal stay consistent; only events past the advance point change when
+// a new run joins the world.
+func (s *Service) rebuild() error {
+	runs := s.planner.Committed()
+	if len(runs) == 0 {
+		s.stepper = nil
+		return nil
+	}
+	st, err := sim.NewStepper(sim.Options{
+		Cluster:   s.coarse,
+		TrackNode: -1,
+		FairByJob: s.opt.FairByJob,
+		Observer:  &epochObserver{s},
+	}, runs)
+	if err != nil {
+		return fmt.Errorf("service: data plane rebuild: %w", err)
+	}
+	s.stepper = st
+	return nil
+}
+
+// advanceTo steps the data plane through every event at or before t and
+// rolls the epoch over when the world drains. t = +Inf drains fully.
+func (s *Service) advanceTo(t float64) error {
+	if s.stepper != nil {
+		for s.stepper.HasPendingEvents() && s.stepper.PeekNextEventTime() <= t {
+			if err := s.stepper.StepNextEvent(); err != nil {
+				return fmt.Errorf("service: data plane step: %w", err)
+			}
+		}
+		if c := s.stepper.Clock(); c > s.simClock {
+			s.simClock = c
+		}
+		if !s.stepper.HasPendingEvents() {
+			// Busy period drained: every admitted job finished. Completed
+			// runs are constants of the objective — reset the epoch so
+			// planning cost tracks the busy period, not daemon uptime.
+			s.stepper = nil
+			s.epochRecs = s.epochRecs[:0]
+			s.planner.Reset()
+			s.epoch++
+			s.mEpochs.Inc()
+		}
+	}
+	if !math.IsInf(t, 1) && t > s.simClock {
+		s.simClock = t
+	}
+	s.gSimClock.Set(s.simClock)
+	s.gLive.Set(float64(s.liveCount()))
+	return nil
+}
+
+// virtualNow derives the current simulated instant: wall time since start
+// scaled by TimeScale, never behind what has already been simulated or
+// committed.
+func (s *Service) virtualNow(now time.Time) float64 {
+	vn := now.Sub(s.start).Seconds() * s.opt.TimeScale
+	return math.Max(vn, math.Max(s.simClock, s.planner.LastArrival()))
+}
+
+// Submit runs one job through admission and planning and installs it in
+// the data plane. Validation failures (nil/invalid job, NaN/Inf arrival)
+// return an error; an admission bounce is not an error — it returns a
+// JobStatus in StateRejected with the policy's reason.
+func (s *Service) Submit(req SubmitRequest) (JobStatus, error) {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mSubmitted.Inc()
+	s.counts.submitted++
+	if req.Job == nil {
+		return JobStatus{}, fmt.Errorf("service: nil job")
+	}
+	if err := req.Job.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	requested := s.virtualNow(now)
+	if req.Arrival != nil {
+		// Same NaN/Inf vetting as the planner, surfaced before admission.
+		if err := scheduler.CheckArrival(*req.Arrival); err != nil {
+			return JobStatus{}, err
+		}
+		requested = *req.Arrival
+	}
+	arrival := math.Max(requested, math.Max(s.simClock, s.planner.LastArrival()))
+	if err := s.advanceTo(arrival); err != nil {
+		return JobStatus{}, err
+	}
+	depth := s.liveCount()
+
+	rec := &jobRecord{
+		id:      fmt.Sprintf("j-%d", s.nextID),
+		name:    req.Job.Name,
+		tenant:  req.Tenant,
+		stages:  req.Job.Graph.Len(),
+		state:   StateQueued,
+		arrival: arrival,
+		epoch:   s.epoch,
+	}
+	s.nextID++
+	s.jobs[rec.id] = rec
+	s.history = append(s.history, rec)
+
+	dec := s.admission.Admit(AdmissionRequest{
+		Tenant:     req.Tenant,
+		Stages:     rec.stages,
+		Arrival:    arrival,
+		QueueDepth: depth,
+		Now:        now,
+	})
+	if !dec.Accept {
+		rec.state = StateRejected
+		rec.reason = dec.Reason
+		s.mRejected.Inc()
+		s.counts.rejected++
+		return s.snapshot(rec), nil
+	}
+	s.mAdmitted.Inc()
+	s.counts.admitted++
+
+	run, err := s.plan(rec, req.Job, arrival, depth)
+	if err != nil {
+		rec.state = StateFailed
+		rec.reason = err.Error()
+		s.counts.failed++
+		return JobStatus{}, err
+	}
+	rec.delays = run.Delays
+	s.epochRecs = append(s.epochRecs, rec)
+	if err := s.rebuild(); err != nil {
+		return JobStatus{}, err
+	}
+	if err := s.advanceTo(arrival); err != nil {
+		return JobStatus{}, err
+	}
+	return s.snapshot(rec), nil
+}
+
+// plan chooses the job's delay vector — queue revision, template cache, or
+// a cold Alg. 1 sweep — and commits it to the planner.
+func (s *Service) plan(rec *jobRecord, job *workload.Job, arrival float64, depth int) (sim.JobRun, error) {
+	if s.opt.ReviseQueueDepth > 0 && depth >= s.opt.ReviseQueueDepth {
+		// Policy observes live state: under a deep queue, dispatch
+		// submit-when-ready instead of stacking delay on contention.
+		rec.planSource = "queue-revision"
+		rec.revised = true
+		s.mRevised.Inc()
+		return s.planner.Commit(job, arrival, nil)
+	}
+	rec.fp = Fingerprint(job)
+	if s.cache != nil {
+		if t := s.cache.get(rec.fp); t != nil {
+			delays := t.instantiate(job)
+			if s.driftValid(job, t, delays) {
+				rec.planSource = "template-cache"
+				rec.cacheHit = true
+				t.hits++
+				s.mCacheHit.Inc()
+				return s.planner.Commit(job, arrival, delays)
+			}
+			s.mCacheInvalid.Inc()
+			s.cache.drop(rec.fp)
+			s.gCacheSize.Set(float64(s.cache.len()))
+		}
+		s.mCacheMiss.Inc()
+	}
+	solo := len(s.planner.Committed()) == 0
+	t0 := time.Now()
+	run, err := s.planner.Add(job, arrival)
+	s.mPlanSec.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		return sim.JobRun{}, err
+	}
+	rec.planSource = "planner"
+	if s.cache != nil && solo {
+		// Only solo-context plans are cacheable: they come from the same
+		// code path as a cold PlanOnline run, so a later hit reuses a
+		// byte-identical delay vector. Plans shaped by committed traffic
+		// are situational and would mislead a quiet-hour arrival.
+		s.storeTemplate(rec.fp, job, run)
+	}
+	return run, nil
+}
+
+// driftValid replays the guarded watchdog's drift test for a cache hit:
+// one fault-free solo simulation under the instantiated delays, each
+// stage's end compared against the template's stored prediction.
+func (s *Service) driftValid(job *workload.Job, t *template, delays map[dag.StageID]float64) bool {
+	res, err := sim.Run(sim.Options{Cluster: s.coarse, TrackNode: -1},
+		[]sim.JobRun{{Job: job, Delays: delays}})
+	if err != nil || len(res.Timelines) != len(t.predEnd) {
+		return false
+	}
+	ids := rankedIDs(job)
+	rank := make(map[dag.StageID]int, len(ids))
+	for i, id := range ids {
+		rank[id] = i
+	}
+	for _, tl := range res.Timelines {
+		pred, ok := t.predEnd[rank[tl.Stage]]
+		if !ok {
+			return false
+		}
+		if math.Abs(tl.End-pred)/math.Max(pred, 1e-9) > s.opt.DriftTolerance {
+			return false
+		}
+	}
+	return true
+}
+
+// storeTemplate records a solo-context plan and its drift reference (the
+// per-stage end times of a fault-free solo run at arrival 0).
+func (s *Service) storeTemplate(fp uint64, job *workload.Job, run sim.JobRun) {
+	res, err := sim.Run(sim.Options{Cluster: s.coarse, TrackNode: -1},
+		[]sim.JobRun{{Job: job, Delays: run.Delays}})
+	if err != nil {
+		return
+	}
+	ids := rankedIDs(job)
+	rank := make(map[dag.StageID]int, len(ids))
+	for i, id := range ids {
+		rank[id] = i
+	}
+	pred := make(map[int]float64, len(res.Timelines))
+	for _, tl := range res.Timelines {
+		pred[rank[tl.Stage]] = tl.End
+	}
+	delays := make(map[int]float64, len(run.Delays))
+	for id, d := range run.Delays {
+		delays[rank[id]] = d
+	}
+	s.cache.put(&template{fp: fp, delays: delays, predEnd: pred})
+	s.gCacheSize.Set(float64(s.cache.len()))
+}
+
+// snapshot renders a record's JSON-ready status; "running" is derived from
+// the clock so queued→running needs no event of its own.
+func (s *Service) snapshot(rec *jobRecord) JobStatus {
+	st := rec.state
+	if st == StateQueued && s.simClock >= rec.arrival {
+		st = StateRunning
+	}
+	return JobStatus{
+		ID:         rec.id,
+		Name:       rec.name,
+		Tenant:     rec.tenant,
+		State:      st,
+		Reason:     rec.reason,
+		Stages:     rec.stages,
+		Arrival:    rec.arrival,
+		End:        rec.end,
+		JCT:        rec.jct,
+		PlanSource: rec.planSource,
+		CacheHit:   rec.cacheHit,
+		Revised:    rec.revised,
+		Epoch:      rec.epoch,
+	}
+}
+
+// Sync advances the data plane to the current wall-derived instant, so
+// read-only queries observe a moving world.
+func (s *Service) Sync() error {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanceTo(s.virtualNow(now))
+}
+
+// Drain runs the data plane until every admitted job has finished — the
+// load drivers call it after the last submission to collect final JCTs.
+func (s *Service) Drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanceTo(math.Inf(1))
+}
+
+// Job returns one submission's status.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.snapshot(rec), true
+}
+
+// Jobs returns every submission in arrival order.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.history))
+	for _, rec := range s.history {
+		out = append(out, s.snapshot(rec))
+	}
+	return out
+}
+
+// Plan returns the delay vector chosen for an admitted job; ok is false
+// for unknown IDs and for submissions that never reached planning.
+func (s *Service) Plan(id string) (PlanStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok || rec.planSource == "" {
+		return PlanStatus{}, false
+	}
+	delays := make(map[string]float64, len(rec.delays))
+	for sid, d := range rec.delays {
+		delays[strconv.Itoa(int(sid))] = d
+	}
+	return PlanStatus{
+		ID:          rec.id,
+		Source:      rec.planSource,
+		CacheHit:    rec.cacheHit,
+		Revised:     rec.revised,
+		Fingerprint: fmt.Sprintf("%016x", rec.fp),
+		Delays:      delays,
+	}, true
+}
+
+// ClusterState snapshots the data plane for GET /v1/cluster.
+func (s *Service) ClusterState() ClusterState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := ClusterState{
+		SimClock:  s.simClock,
+		Epoch:     s.epoch,
+		Nodes:     len(s.opt.Cluster.Nodes),
+		Executors: s.opt.Cluster.TotalExecutors(),
+		Policy:    s.admission.Name(),
+		Submitted: s.counts.submitted,
+		Admitted:  s.counts.admitted,
+		Rejected:  s.counts.rejected,
+		Done:      s.counts.done,
+		Failed:    s.counts.failed,
+		Live:      s.liveCount(),
+	}
+	if s.stepper != nil {
+		cs.EpochEvents = s.stepper.Events()
+	}
+	if s.cache != nil {
+		cs.CacheEntries = s.cache.len()
+	}
+	return cs
+}

@@ -1,0 +1,400 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+	"delaystage/internal/jobspec"
+	"delaystage/internal/scheduler"
+	"delaystage/internal/workload"
+)
+
+// fixedClock freezes wall time so virtualNow is fully driven by arrivals.
+func fixedClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	return func() time.Time { return t0 }
+}
+
+func newTestService(t *testing.T, opt Options) *Service {
+	t.Helper()
+	if opt.Cluster == nil {
+		opt.Cluster = cluster.NewM4LargeCluster(10)
+	}
+	if opt.Clock == nil {
+		opt.Clock = fixedClock()
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func submitBodyFor(t *testing.T, job *workload.Job, tenant string, arrival float64) []byte {
+	t.Helper()
+	spec := jobspec.FromJob(job)
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"tenant":  tenant,
+		"arrival": arrival,
+		"job":     json.RawMessage(raw),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// The headline round-trip: submit over HTTP, read the plan, poll status,
+// scrape metrics — every endpoint of the daemon API in one flow.
+func TestServiceHTTPRoundTrip(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	s := newTestService(t, Options{Cluster: c})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	job := workload.CosineSimilarity(c, 0.15)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		bytes.NewReader(submitBodyFor(t, job, "acme", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d (%+v)", resp.StatusCode, st)
+	}
+	if st.ID == "" || st.State == StateRejected {
+		t.Fatalf("submit status %+v", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/plan/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan PlanStatus
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d", resp.StatusCode)
+	}
+	if plan.Source != "planner" || plan.CacheHit {
+		t.Fatalf("first submission should be a cold plan, got %+v", plan)
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != StateDone || st.JCT <= 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs ClusterState
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.Done != 1 || cs.Live != 0 || cs.Epoch != 1 {
+		t.Fatalf("cluster state after drain: %+v", cs)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"schedd_jobs_submitted_total 1",
+		"schedd_plan_cache_misses_total 1",
+		"schedd_plan_cache_hits_total 0",
+		"schedd_job_jct_seconds_count 1",
+		"schedd_http_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Unknown IDs are 404, not 500.
+	resp, err = http.Get(srv.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+}
+
+// Admission bounces surface as 429 with the policy's reason, and the job
+// is queryable in its rejected state.
+func TestServiceAdmissionRejection(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	s := newTestService(t, Options{Cluster: c, Admission: QueueDepthCap{Max: 1}})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	job := workload.CosineSimilarity(c, 0.15)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		bytes.NewReader(submitBodyFor(t, job, "acme", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	// Second arrival lands while the first is live: over the cap.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
+		bytes.NewReader(submitBodyFor(t, job, "acme", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: %d", resp.StatusCode)
+	}
+	if st.State != StateRejected || st.Reason == "" {
+		t.Fatalf("rejected status %+v", st)
+	}
+	// The rejected job never reached planning: no plan to serve.
+	resp, err = http.Get(srv.URL + "/v1/plan/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("plan of rejected job: %d", resp.StatusCode)
+	}
+}
+
+// Malformed submissions — bad JSON, and the planner's NaN arrival vetting
+// reached through the service path — are 400s.
+func TestServiceSubmitValidation(t *testing.T) {
+	s := newTestService(t, Options{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"job": {"name":"x","stages":[]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty stages: %d", resp.StatusCode)
+	}
+
+	// NaN cannot travel JSON, but in-process drivers can pass it; the
+	// service must reject it with the planner's typed error.
+	c := s.opt.Cluster
+	bad := math.NaN()
+	if _, err := s.Submit(SubmitRequest{Job: workload.LDA(c, 0.1), Arrival: &bad}); err == nil {
+		t.Fatal("NaN arrival accepted by Submit")
+	} else if _, ok := err.(*scheduler.InvalidArrivalError); !ok {
+		t.Fatalf("got %T (%v), want *scheduler.InvalidArrivalError", err, err)
+	}
+}
+
+// A cache hit must hand back exactly the delay vector a cold PlanOnline
+// run would choose — the acceptance criterion for template reuse.
+func TestTemplateCacheByteIdentical(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	s := newTestService(t, Options{Cluster: c})
+	job := workload.CosineSimilarity(c, 0.15)
+
+	first, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first submission hit an empty cache")
+	}
+	// Same spec again while the first is still live: fingerprints match,
+	// the drift test passes, Alg. 1 is skipped.
+	second, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(5.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.PlanSource != "template-cache" {
+		t.Fatalf("second submission should hit the cache: %+v", second)
+	}
+
+	cold, err := scheduler.PlanOnline(scheduler.OnlineOptions{Cluster: c},
+		[]*workload.Job{job}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{}
+	for id, d := range cold[0].Delays {
+		want[strconv.Itoa(int(id))] = d
+	}
+	plan, ok := s.Plan(second.ID)
+	if !ok {
+		t.Fatal("no plan for cache-hit job")
+	}
+	if !reflect.DeepEqual(plan.Delays, want) {
+		t.Fatalf("cache hit diverged from cold plan:\n%v\nvs\n%v", plan.Delays, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("test is vacuous: cold plan chose no delays")
+	}
+}
+
+// A poisoned template (prediction far from reality) must fail the drift
+// test, fall back to cold planning, and be evicted.
+func TestTemplateDriftInvalidation(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	s := newTestService(t, Options{Cluster: c})
+	job := workload.CosineSimilarity(c, 0.15)
+	fp := Fingerprint(job)
+	// A template predicting every stage ends at t=1 is hopeless for a
+	// multi-hundred-second job.
+	bogus := &template{fp: fp, predEnd: map[int]float64{}}
+	for i := range rankedIDs(job) {
+		bogus.predEnd[i] = 1
+	}
+	s.cache.put(bogus)
+
+	st, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit || st.PlanSource != "planner" {
+		t.Fatalf("poisoned template was reused: %+v", st)
+	}
+	if got := s.cache.get(fp); got == bogus {
+		t.Fatal("poisoned template survived invalidation")
+	}
+	if got := s.cache.get(fp); got == nil {
+		t.Fatal("replacement template not stored after cold plan")
+	}
+}
+
+// Queue-length-aware revision: past the configured depth, jobs dispatch
+// submit-when-ready without a planning sweep.
+func TestServiceQueueRevision(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	s := newTestService(t, Options{Cluster: c, ReviseQueueDepth: 2, CacheCapacity: -1})
+	job := workload.CosineSimilarity(c, 0.15)
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(float64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Revised {
+			t.Fatalf("submission %d revised below the depth threshold", i)
+		}
+	}
+	st, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(2.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Revised || st.PlanSource != "queue-revision" {
+		t.Fatalf("deep-queue submission not revised: %+v", st)
+	}
+	plan, ok := s.Plan(st.ID)
+	if !ok || len(plan.Delays) != 0 {
+		t.Fatalf("revised plan should be submit-when-ready: %+v", plan)
+	}
+}
+
+// Draining rolls the busy-period epoch: planner state resets, later jobs
+// start a fresh world, and the arrival watermark still cannot rewind.
+func TestServiceEpochRollover(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	s := newTestService(t, Options{Cluster: c})
+	job := workload.LDA(c, 0.1)
+	first, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.ClusterState()
+	if cs.Epoch != 1 || cs.Live != 0 || cs.Done != 1 {
+		t.Fatalf("after drain: %+v", cs)
+	}
+	// An arrival "before" the drained world is clamped forward, not an
+	// error: time cannot rewind across epochs.
+	second, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Arrival < first.Arrival {
+		t.Fatalf("arrival rewound across epochs: %v after %v", second.Arrival, first.Arrival)
+	}
+	if second.Epoch != 1 {
+		t.Fatalf("second job in epoch %d, want 1", second.Epoch)
+	}
+}
+
+// Fingerprints must be invariant to stage-ID renaming (templates transfer
+// across recurring submissions with different ID assignments) and
+// sensitive to profile changes beyond the quantization grid.
+func TestFingerprintInvariance(t *testing.T) {
+	build := func(base int, rate float64) *workload.Job {
+		g := dag.New()
+		g.MustAdd(dag.Stage{ID: dag.StageID(base)})
+		g.MustAdd(dag.Stage{ID: dag.StageID(base + 1), Parents: []dag.StageID{dag.StageID(base)}})
+		prof := workload.StageProfile{ShuffleIn: 1 << 30, ShuffleOut: 1 << 28, ProcRate: rate}
+		return &workload.Job{
+			Name:  fmt.Sprintf("fp-%d", base),
+			Graph: g,
+			Profiles: map[dag.StageID]workload.StageProfile{
+				dag.StageID(base):     prof,
+				dag.StageID(base + 1): prof,
+			},
+		}
+	}
+	a, b := build(0, 1e8), build(100, 1e8)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint not invariant to stage-ID renaming")
+	}
+	if Fingerprint(a) == Fingerprint(build(0, 3e8)) {
+		t.Fatal("fingerprint blind to a 3× processing-rate change")
+	}
+}
+
+func ptr(v float64) *float64 { return &v }

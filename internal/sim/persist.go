@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -185,6 +186,16 @@ func ReadSnapshotFile(path string, opt Options, runs []JobRun) (*Snapshot, error
 // event boundary perturbs nothing). Observer and Watchdog are rejected:
 // their external state cannot be serialized.
 func RunCheckpointed(opt Options, runs []JobRun, path string, every float64) (*Result, error) {
+	return RunCheckpointedCtx(context.Background(), opt, runs, path, every)
+}
+
+// RunCheckpointedCtx is RunCheckpointed with cooperative cancellation: the
+// context is checked at every checkpoint boundary, *after* the snapshot
+// has been written, so an interrupted run always leaves a fresh checkpoint
+// on disk and ResumeCheckpointed(Ctx) continues bit-identically. A
+// cancelled run returns ctx.Err() (possibly wrapped); callers distinguish
+// it with errors.Is(err, context.Canceled).
+func RunCheckpointedCtx(ctx context.Context, opt Options, runs []JobRun, path string, every float64) (*Result, error) {
 	if opt.Observer != nil || opt.Watchdog != nil {
 		return nil, fmt.Errorf("sim: checkpointed runs do not support Observer or Watchdog")
 	}
@@ -199,7 +210,7 @@ func RunCheckpointed(opt Options, runs []JobRun, path string, every float64) (*R
 	e.haltSet = true
 	e.haltAt = every
 	e.setup()
-	return checkpointLoop(e, path, every, every)
+	return checkpointLoop(ctx, e, path, every, every)
 }
 
 // ResumeCheckpointed continues a RunCheckpointed run from its checkpoint
@@ -208,6 +219,12 @@ func RunCheckpointed(opt Options, runs []JobRun, path string, every float64) (*R
 // want resume-or-start semantics check os.IsNotExist); a corrupt or
 // mismatched file is a *ckpt.FormatError.
 func ResumeCheckpointed(opt Options, runs []JobRun, path string, every float64) (*Result, error) {
+	return ResumeCheckpointedCtx(context.Background(), opt, runs, path, every)
+}
+
+// ResumeCheckpointedCtx is ResumeCheckpointed with the same cooperative
+// cancellation contract as RunCheckpointedCtx.
+func ResumeCheckpointedCtx(ctx context.Context, opt Options, runs []JobRun, path string, every float64) (*Result, error) {
 	if every <= 0 || math.IsNaN(every) || math.IsInf(every, 0) {
 		return nil, fmt.Errorf("sim: invalid checkpoint interval %v", every)
 	}
@@ -218,12 +235,14 @@ func ResumeCheckpointed(opt Options, runs []JobRun, path string, every float64) 
 	e := snap.eng // decoded fresh for this call; no clone needed
 	stop := snap.At + every
 	e.haltSet, e.haltAt, e.halted = true, stop, false
-	return checkpointLoop(e, path, every, stop)
+	return checkpointLoop(ctx, e, path, every, stop)
 }
 
 // checkpointLoop alternates loop() with snapshot writes until the run
 // completes. stop is the first halt time; the engine is already armed.
-func checkpointLoop(e *engine, path string, every, stop float64) (*Result, error) {
+// Cancellation is honored only at checkpoint boundaries, after the write:
+// the run on disk is always resumable from the moment it was interrupted.
+func checkpointLoop(ctx context.Context, e *engine, path string, every, stop float64) (*Result, error) {
 	for {
 		if err := e.loop(); err != nil {
 			return nil, err
@@ -233,6 +252,9 @@ func checkpointLoop(e *engine, path string, every, stop float64) (*Result, error
 		}
 		if err := (&Snapshot{eng: e, At: stop}).WriteFile(path); err != nil {
 			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: checkpointed run interrupted at t=%v (checkpoint flushed): %w", stop, err)
 		}
 		stop += every
 		e.haltAt = stop

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -325,4 +327,35 @@ func TestCheckpointedRejects(t *testing.T) {
 	if _, err := ResumeCheckpointed(Options{Cluster: c, TrackNode: -1}, runs, path, 10); !os.IsNotExist(err) {
 		t.Errorf("missing checkpoint: err = %v, want not-exist", err)
 	}
+}
+
+// TestRunCheckpointedCtxCancel pins the cooperative-cancellation contract:
+// a cancelled run stops at a checkpoint boundary *after* flushing the
+// file, reports context.Canceled, and resuming from the flushed file
+// finishes bit-identical to the uninterrupted run — the signal-handling
+// story of cmd/simulate.
+func TestRunCheckpointedCtxCancel(t *testing.T) {
+	c := cluster.NewM4LargeCluster(5)
+	opt := chaosOptions(c, chaosInjector(t))
+	job := galleryJobs(c, 0.3)[1]
+	runs := []JobRun{{Job: job}}
+	ref, err := Run(opt, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cancel.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run: the first boundary must stop it
+	_, err = RunCheckpointedCtx(ctx, opt, runs, path, ref.Makespan/6)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", err)
+	}
+	got, err := ResumeCheckpointed(opt, runs, path, ref.Makespan/6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "resume after cancellation", ref, got)
 }
