@@ -5,12 +5,20 @@
 // simulate -report printed live — attribution is a pure function of the
 // event stream plus static context, so post-mortems need only the log.
 //
+// -trace ID switches to job-lifecycle mode: the log is read for trace
+// lines (schema delaystage/trace/v1, written by cmd/schedd -events) and
+// the named job's span tree is printed exactly as GET /v1/trace/{id}
+// served it live — byte-identical offline reconstruction. -chrometrace
+// additionally renders the spans as a chrome://tracing file.
+//
 // Usage:
 //
 //	simulate -workload TriangleCount -events run.jsonl
 //	analyze -events run.jsonl -workload TriangleCount
 //	analyze -events replay.jsonl -run 3 ...
 //	cat run.jsonl | analyze -events -
+//	analyze -events schedd.jsonl -trace j-0
+//	analyze -events schedd.jsonl -trace j-0 -chrometrace j0.trace.json
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 	specPath := flag.String("spec", "", "JSON job spec (overrides -workload)")
 	run := flag.Int("run", -1, "run label to analyze in a multi-run log (-1 = unlabelled lines)")
 	alpha := flag.Float64("alpha", 0, "engine ContentionOverhead of the logged run (0 = the 0.22 default, negative = none)")
+	traceID := flag.String("trace", "", "print this job's lifecycle span tree from the log's trace lines instead of attributing")
+	chromePath := flag.String("chrometrace", "", "with -trace: also render the spans as a chrome://tracing JSON file")
 	flag.Parse()
 	if *eventsPath == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -events is required")
@@ -50,6 +60,10 @@ func main() {
 		}
 		defer f.Close()
 		r = f
+	}
+	if *traceID != "" {
+		replayTrace(r, *traceID, *chromePath)
+		return
 	}
 	logged, err := obs.ReadEvents(r)
 	if err != nil {
@@ -101,4 +115,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(rep.Render())
+}
+
+// replayTrace reconstructs one job's lifecycle span tree from the log's
+// trace lines. The JSON printed to stdout is byte-identical to what the
+// live GET /v1/trace/{id} endpoint served for the same job.
+func replayTrace(r io.Reader, id, chromePath string) {
+	traces, err := obs.ReadTraces(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, ok := obs.FindTrace(traces, id)
+	if !ok {
+		ids := make([]string, 0, len(traces))
+		for _, t := range traces {
+			ids = append(ids, t.TraceID)
+		}
+		log.Fatalf("analyze: no trace %q in log (present: %v)", id, ids)
+	}
+	if err := obs.EncodeTraceJSON(os.Stdout, tr); err != nil {
+		log.Fatal(err)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteTraceChrome(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "analyze: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+	}
 }

@@ -22,9 +22,13 @@
 // timestamp order, so memory stays flat even on the full 2.7M-job trace.
 // Per-shard JCT CDFs are k-way merged and the utilization integrals are
 // folded in job order, so the summary is byte-identical at any shard
-// count, including -shards 0 (the sequential path). For full-scale traces
-// combine it with -model-eval (closed-form planner evaluation instead of
-// what-if simulation) and -variants to pick the strategies to replay.
+// count, including -shards 0 (the sequential path). The same holds for
+// -events and -chrometrace: an obs.ShardMux buffers each world's event
+// stream and drains finished worlds in index order, so the logs are
+// byte-identical to the sequential path at any shard count. For
+// full-scale traces combine -shards with -model-eval (closed-form planner
+// evaluation instead of what-if simulation) and -variants to pick the
+// strategies to replay.
 //
 // -checkpoint-dir makes the replay crash-safe: after every job the
 // per-variant progress (bit-exact JCTs and utilization sums) is written
@@ -33,8 +37,10 @@
 // -json summary. A missing checkpoint starts fresh; a corrupt or
 // mismatched one (different trace or flags) is discarded with a warning.
 // The sharded path has no per-job progress prefix, so -shards is
-// incompatible with -checkpoint-dir (and with -events/-chrometrace, whose
-// logs would interleave across shards).
+// incompatible with -checkpoint-dir.
+//
+// Diagnostics go to stderr as JSON lines (log/slog); -log-level picks the
+// floor (debug, info, warn, error). Results stay on stdout.
 package main
 
 import (
@@ -45,7 +51,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"log"
 	"math"
 	"math/rand"
 	"os"
@@ -180,7 +185,23 @@ func main() {
 	shardWindow := flag.Int("shard-window", 0, "max live simulation worlds per shard (0 = default 64); bounds sharded replay memory at full trace scale")
 	variantsFlag := flag.String("variants", "", "comma-separated subset of variants to replay: fuxi,random,default,ascending (default: all)")
 	modelEval := flag.Bool("model-eval", false, "plan with the closed-form model evaluator instead of what-if simulation (needed to replay full-scale traces in minutes)")
+	logLevel := flag.String("log-level", "info", "stderr log floor: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fail := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+	failf := func(format string, a ...any) {
+		logger.Error(fmt.Sprintf(format, a...))
+		os.Exit(1)
+	}
 
 	// SIGINT/SIGTERM cancel the context: the sequential loop stops after
 	// the job in flight (its progress checkpoint already flushed), the
@@ -189,20 +210,15 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	if *shards > 0 {
-		if *ckptDir != "" {
-			log.Fatal("-shards is incompatible with -checkpoint-dir: the sharded replay has no per-job progress prefix; run it to completion")
-		}
-		if *eventsPath != "" || *tracePath != "" {
-			log.Fatal("-shards is incompatible with -events and -chrometrace: interleaved shard stepping would scramble the per-run logs")
-		}
+	if *shards > 0 && *ckptDir != "" {
+		failf("-shards is incompatible with -checkpoint-dir: the sharded replay has no per-job progress prefix; run it to completion")
 	}
 
 	var r io.Reader = os.Stdin
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		defer f.Close()
 		r = f
@@ -213,10 +229,10 @@ func main() {
 	traceHash := fnv.New64a()
 	tr, err := trace.Parse(io.TeeReader(r, traceHash))
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	if len(tr.Jobs) == 0 {
-		log.Fatal("replay: empty trace")
+		failf("replay: empty trace")
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -241,7 +257,7 @@ func main() {
 			SlowNodeFactor:  *slowNodeFactor,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		return inj
 	}
@@ -253,7 +269,7 @@ func main() {
 		if *eventsPath != "-" {
 			f, err := os.Create(*eventsPath)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			evFile = f
 			w = f
@@ -272,10 +288,10 @@ func main() {
 		runsDone = reg.Counter("replay_runs_completed_total", "", "sim runs completed across all variants")
 		s, err := obs.Serve(*serveAddr, reg)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		srv = s
-		fmt.Fprintf(os.Stderr, "serving introspection on http://%s\n", srv.Addr)
+		logger.Info(fmt.Sprintf("serving introspection on http://%s", srv.Addr), "addr", srv.Addr)
 	}
 
 	type variant struct {
@@ -296,7 +312,7 @@ func main() {
 		for _, k := range strings.Split(*variantsFlag, ",") {
 			name, ok := keys[strings.TrimSpace(strings.ToLower(k))]
 			if !ok {
-				log.Fatalf("replay: unknown variant %q (want fuxi, random, default or ascending)", k)
+				failf("replay: unknown variant %q (want fuxi, random, default or ascending)", k)
 			}
 			want[name] = true
 		}
@@ -321,14 +337,14 @@ func main() {
 		if jsonl != nil || tracer != nil {
 			// A resumed replay skips completed jobs, so per-job event logs
 			// would silently come out partial.
-			log.Fatal("-checkpoint-dir is incompatible with -events and -chrometrace")
+			failf("-checkpoint-dir is incompatible with -events and -chrometrace")
 		}
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		ckptPath = filepath.Join(*ckptDir, "replay.ckpt")
 	} else if *resume {
-		log.Fatal("-resume requires -checkpoint-dir")
+		failf("-resume requires -checkpoint-dir")
 	}
 	h := traceHash
 	cfgBuf := make([]byte, 0, 128)
@@ -353,12 +369,12 @@ func main() {
 		env, err := ckpt.ReadFile(ckptPath)
 		switch {
 		case os.IsNotExist(err):
-			fmt.Fprintf(os.Stderr, "no checkpoint at %s; starting fresh\n", ckptPath)
+			logger.Info(fmt.Sprintf("no checkpoint at %s; starting fresh", ckptPath), "path", ckptPath)
 		case err != nil:
 			if !ckpt.IsFormat(err) {
-				log.Fatal(err)
+				fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "unusable checkpoint (%v); starting fresh\n", err)
+			logger.Warn(fmt.Sprintf("unusable checkpoint (%v); starting fresh", err))
 		default:
 			verr := env.Expect(progressKind, progressVersion, fingerprint)
 			var loaded []*progress
@@ -366,15 +382,15 @@ func main() {
 				loaded, verr = decodeProgress(env.Payload, len(variants))
 			}
 			if verr != nil {
-				fmt.Fprintf(os.Stderr, "unusable checkpoint (%v); starting fresh\n", verr)
+				logger.Warn(fmt.Sprintf("unusable checkpoint (%v); starting fresh", verr))
 			} else {
 				state = loaded
 				done := 0
 				for _, p := range state {
 					done += p.done
 				}
-				fmt.Fprintf(os.Stderr, "resumed from %s: %d/%d runs already done\n",
-					ckptPath, done, len(variants)*len(tr.Jobs))
+				logger.Info(fmt.Sprintf("resumed from %s: %d/%d runs already done",
+					ckptPath, done, len(variants)*len(tr.Jobs)), "path", ckptPath)
 			}
 		}
 	}
@@ -386,7 +402,7 @@ func main() {
 			Kind: progressKind, Version: progressVersion,
 			Fingerprint: fingerprint, Payload: encodeProgress(state),
 		}); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 	}
 
@@ -439,6 +455,24 @@ func main() {
 			// and only shards×window engines are live at once. Results land
 			// in indexed slots and are folded in job order below, so the
 			// summary floats match the sequential path bit for bit.
+			//
+			// Event observation shards the same way: each observed world
+			// buffers its stream in the mux and the index-order reduce
+			// drains finished worlds into the exporters, reproducing the
+			// sequential emission order byte for byte.
+			build := buildWorld
+			var mux *obs.ShardMux
+			if observed {
+				if mux = obs.NewShardMux(len(tr.Jobs), jsonl, tracer); mux.Active() {
+					build = func(i int) (shardsim.World, error) {
+						w, err := buildWorld(i)
+						if err == nil {
+							w.Opt.Observer = mux.Observer(i)
+						}
+						return w, err
+					}
+				}
+			}
 			type slot struct {
 				jct, cpu, net float64
 				failed        bool
@@ -446,7 +480,7 @@ func main() {
 			slots := make([]slot, len(tr.Jobs))
 			err := shardsim.Run(shardsim.Config{Shards: *shards, MaxLive: *shardWindow, Ctx: ctx},
 				len(tr.Jobs),
-				buildWorld,
+				build,
 				func(i int, res *sim.Result) error {
 					if ferr := res.Failed(0); ferr != nil {
 						slots[i].failed = true
@@ -457,6 +491,9 @@ func main() {
 							jctHist.Observe(slots[i].jct) // histogram is mutex-guarded
 						}
 					}
+					if mux != nil {
+						mux.Flush(i)
+					}
 					if runsDone != nil {
 						runsDone.Inc()
 					}
@@ -464,10 +501,10 @@ func main() {
 				})
 			if err != nil {
 				if errors.Is(err, context.Canceled) {
-					fmt.Fprintln(os.Stderr, "interrupted; sharded replay has no per-job progress, rerun from scratch")
+					logger.Warn("interrupted; sharded replay has no per-job progress, rerun from scratch")
 					os.Exit(130)
 				}
-				log.Fatal(err)
+				fail(err)
 			}
 			nsh := *shards
 			if nsh > len(slots) {
@@ -502,16 +539,16 @@ func main() {
 					for _, st := range state {
 						done += st.done
 					}
-					fmt.Fprintf(os.Stderr, "interrupted after %d/%d runs", done, len(variants)*len(tr.Jobs))
+					msg := fmt.Sprintf("interrupted after %d/%d runs", done, len(variants)*len(tr.Jobs))
 					if ckptPath != "" {
-						fmt.Fprintf(os.Stderr, "; resume with -checkpoint-dir %s -resume", *ckptDir)
+						msg += fmt.Sprintf("; resume with -checkpoint-dir %s -resume", *ckptDir)
 					}
-					fmt.Fprintln(os.Stderr)
+					logger.Warn(msg)
 					os.Exit(130)
 				}
 				w, err := buildWorld(i)
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
 				}
 				if observed {
 					if jsonl != nil {
@@ -524,7 +561,7 @@ func main() {
 				}
 				res, err := sim.Run(w.Opt, w.Runs)
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
 				}
 				if ferr := res.Failed(0); ferr != nil {
 					// With fault injection on, a job can exhaust its retry
@@ -549,7 +586,7 @@ func main() {
 			}
 		}
 		if len(p.jcts) == 0 {
-			log.Fatalf("%s: every job failed under the injected faults", v.name)
+			failf("%s: every job failed under the injected faults", v.name)
 		}
 		cdf := mergedCDF
 		if cdf == nil {
@@ -568,24 +605,24 @@ func main() {
 
 	if jsonl != nil {
 		if err := jsonl.Flush(); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		if evFile != nil {
 			if err := evFile.Close(); err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 		}
 	}
 	if tracer != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		if err := tracer.Write(f); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 	}
 	if *jsonPath != "" {
@@ -596,12 +633,12 @@ func main() {
 			out.Results[name] = vs
 		}
 		if err := obs.WriteJSON(*jsonPath, out); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 	}
 	if srv != nil {
 		if *linger > 0 {
-			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *linger, srv.Addr)
+			logger.Info(fmt.Sprintf("lingering %v on http://%s", *linger, srv.Addr))
 			// A signal cuts the linger short; the endpoint still closes
 			// cleanly below.
 			timer := time.NewTimer(*linger)
@@ -612,7 +649,7 @@ func main() {
 			}
 		}
 		if err := srv.Close(); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 	}
 }

@@ -12,11 +12,19 @@
 //
 // API (plus /metrics, /healthz and /debug/pprof from the introspection mux):
 //
-//	POST /v1/jobs      {"tenant":"t","arrival":12.5,"job":{<jobspec JSON>}}
-//	GET  /v1/jobs      every submission
-//	GET  /v1/jobs/{id} one submission's status
-//	GET  /v1/plan/{id} the chosen delay vector and its provenance
-//	GET  /v1/cluster   live data-plane state
+//	POST /v1/jobs       {"tenant":"t","arrival":12.5,"job":{<jobspec JSON>}}
+//	GET  /v1/jobs       every submission
+//	GET  /v1/jobs/{id}  one submission's status
+//	GET  /v1/plan/{id}  the chosen delay vector and its provenance
+//	GET  /v1/trace/{id} the job's lifecycle span tree with decision audit
+//	GET  /v1/timeline   the bounded scheduler-milestone ring
+//	GET  /v1/cluster    live data-plane state
+//
+// -events FILE appends one JSONL trace line (schema delaystage/trace/v1)
+// per job the moment it finishes; `analyze -events FILE -trace ID`
+// reconstructs the /v1/trace/{id} response from it byte-identically
+// offline. Diagnostics go to stderr as JSON slog lines (-log-level
+// debug|info|warn|error); every job-scoped line carries a trace_id key.
 //
 // The built-in load drivers submit through the same service entry point
 // the HTTP handler uses, so admission, template caching and metrics see
@@ -33,7 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -67,7 +75,20 @@ func main() {
 	arrivalRate := flag.Float64("arrival-rate", 0.01, "Poisson arrival rate λ in jobs per simulated second")
 	seed := flag.Int64("seed", 1, "seed for the Poisson driver's job shapes and gaps")
 	once := flag.Bool("once", false, "exit after the load driver finishes instead of serving until a signal")
+	events := flag.String("events", "", "append one JSONL trace line per finished job to this file (offline replay via analyze -trace)")
+	logLevel := flag.String("log-level", "info", "stderr diagnostic level: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fail := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
 
 	// SIGINT/SIGTERM cancel the context: the load driver stops between
 	// submissions, the data plane finishes its current advance, and the
@@ -85,7 +106,15 @@ func main() {
 	case "queue-cap":
 		admit = service.QueueDepthCap{Max: *queueCap}
 	default:
-		log.Fatalf("unknown -policy %q (want accept-all, token-bucket or queue-cap)", *policy)
+		fail(fmt.Errorf("unknown -policy %q (want accept-all, token-bucket or queue-cap)", *policy))
+	}
+	var traceLog *os.File
+	if *events != "" {
+		traceLog, err = os.Create(*events)
+		if err != nil {
+			fail(err)
+		}
+		defer traceLog.Close()
 	}
 	svc, err := service.New(service.Options{
 		Cluster:          c,
@@ -97,24 +126,26 @@ func main() {
 		SlotSeconds:      *slot,
 		FairByJob:        *fair,
 		TimeScale:        *timescale,
+		TraceLog:         traceLog,
+		Logger:           logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 
 	srv, err := obs.ServeHandler(*addr, svc.Handler())
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "schedd: serving on http://%s (policy %s, %d nodes)\n",
-		srv.Addr, admit.Name(), *nodes)
+	logger.Info(fmt.Sprintf("serving on http://%s", srv.Addr),
+		"policy", admit.Name(), "nodes", *nodes)
 
 	if *replayPath != "" && *poisson > 0 {
-		log.Fatal("-replay and -poisson are mutually exclusive")
+		fail(fmt.Errorf("-replay and -poisson are mutually exclusive"))
 	}
 	if *replayPath != "" || *poisson > 0 {
-		if err := drive(ctx, svc, c, *replayPath, *poisson, *arrivalRate, *seed); err != nil {
-			log.Fatal(err)
+		if err := drive(ctx, logger, svc, c, *replayPath, *poisson, *arrivalRate, *seed); err != nil {
+			fail(err)
 		}
 	}
 
@@ -124,19 +155,19 @@ func main() {
 		case <-ctx.Done():
 		case err := <-srv.Done():
 			if err != nil {
-				log.Fatalf("schedd: http server: %v", err)
+				fail(fmt.Errorf("http server: %w", err))
 			}
 		}
 	}
 	if err := srv.Close(); err != nil {
-		log.Fatalf("schedd: shutdown: %v", err)
+		fail(fmt.Errorf("shutdown: %w", err))
 	}
 }
 
 // drive runs the open-loop load driver: submit every job through the same
 // entry point the HTTP handler uses, drain the data plane, and print a
 // completion summary. Cancellation stops between submissions.
-func drive(ctx context.Context, svc *service.Service, c *cluster.Cluster,
+func drive(ctx context.Context, logger *slog.Logger, svc *service.Service, c *cluster.Cluster,
 	replayPath string, poisson int, arrivalRate float64, seed int64) error {
 	type arrival struct {
 		job *workload.Job
@@ -184,7 +215,7 @@ func drive(ctx context.Context, svc *service.Service, c *cluster.Cluster,
 	accepted := 0
 	for i, a := range load {
 		if err := ctx.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "schedd: driver interrupted after %d/%d submissions\n", i, len(load))
+			logger.Warn(fmt.Sprintf("driver interrupted after %d/%d submissions", i, len(load)))
 			return nil
 		}
 		at := a.at
@@ -206,9 +237,9 @@ func drive(ctx context.Context, svc *service.Service, c *cluster.Cluster,
 		}
 	}
 	cs := svc.ClusterState()
-	fmt.Fprintf(os.Stderr,
-		"schedd: driver done: %d submitted, %d admitted, %d rejected, %d completed (mean JCT %.1fs), %d epochs\n",
-		cs.Submitted, cs.Admitted, cs.Rejected, cs.Done, mean(jcts), cs.Epoch)
+	logger.Info("driver done",
+		"submitted", cs.Submitted, "admitted", cs.Admitted, "rejected", cs.Rejected,
+		"completed", cs.Done, "mean_jct", mean(jcts), "epochs", cs.Epoch)
 	return nil
 }
 

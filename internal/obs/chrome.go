@@ -87,6 +87,9 @@ func NewChromeTracer() *ChromeTracer {
 	}
 }
 
+// SetRun sets the run label applied to subsequent slices (RunLabeled).
+func (c *ChromeTracer) SetRun(run int) { c.Run = run }
+
 const usec = 1e6 // seconds → trace microseconds
 
 // pidOf maps a node index to its process track, registering the

@@ -27,6 +27,13 @@ func FuzzReadEvents(f *testing.F) {
 	f.Add([]byte(`{"t":3,"kind":"job_failed","job":0,"detail":"boom \"quoted\" "}` + "\n"))
 	f.Add([]byte(`{"t":9,"kind":"stage_submitted","run":2,"job":0,"stage":1,"prefetch":true}` + "\n"))
 	f.Add([]byte("not json\n"))
+	// Mixed logs: trace lines interleave with events and must be skipped.
+	if raw, err := os.ReadFile("testdata/traces.golden.jsonl"); err == nil {
+		f.Add(raw)
+		f.Add(append([]byte(`{"t":1,"kind":"job_done","job":0}`+"\n"), raw...))
+	}
+	f.Add([]byte(`{"schema":"delaystage/trace/v1","trace_id":"j","state":"done","epoch":0,"spans":[]}` + "\n"))
+	f.Add([]byte(`{"schema":"delaystage/bogus/v1"}` + "\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		evs, err := ReadEvents(bytes.NewReader(data))
@@ -47,6 +54,53 @@ func FuzzReadEvents(f *testing.F) {
 		}
 		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
 			t.Fatalf("encode∘decode is not a fixed point:\nfirst:  %s\nsecond: %s",
+				once.Bytes(), twice.Bytes())
+		}
+	})
+}
+
+// FuzzReadTraces is the trace-line twin of FuzzReadEvents: ReadTraces
+// never panics on arbitrary input, and accepted traces re-encode to a
+// fixed point (first re-encoding normalizes hand-written field order and
+// attr spelling; the second must reproduce it byte-for-byte).
+func FuzzReadTraces(f *testing.F) {
+	if raw, err := os.ReadFile("testdata/traces.golden.jsonl"); err == nil {
+		f.Add(raw)
+		for _, line := range bytes.SplitAfter(raw, []byte{'\n'}) {
+			if len(line) > 0 {
+				f.Add(line)
+			}
+		}
+	}
+	f.Add([]byte(`{"schema":"delaystage/trace/v1","trace_id":"j","state":"queued","epoch":1,` +
+		`"spans":[{"id":0,"parent":-1,"kind":"job","name":"job j","start":0,"end":2,"open":true,` +
+		`"attrs":{"nested":{"x":[1,2,null,"s"]}}}]}` + "\n"))
+	f.Add([]byte(`{"t":1,"kind":"job_done","job":0}` + "\n"))
+	f.Add([]byte("{}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces, err := ReadTraces(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var once bytes.Buffer
+		for _, tr := range traces {
+			if err := WriteTraceLine(&once, tr); err != nil {
+				t.Fatalf("re-encode of accepted trace failed: %v", err)
+			}
+		}
+		traces2, err := ReadTraces(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("encoder output did not decode: %v\n%s", err, once.Bytes())
+		}
+		var twice bytes.Buffer
+		for _, tr := range traces2 {
+			if err := WriteTraceLine(&twice, tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("trace encode∘decode is not a fixed point:\nfirst:  %s\nsecond: %s",
 				once.Bytes(), twice.Bytes())
 		}
 	})

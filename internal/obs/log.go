@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the daemons and batch commands: one JSON object
+// per line (the same machine-greppable discipline as the JSONL event
+// logs), leveled through a shared -log-level flag. Library code takes a
+// *slog.Logger and treats nil as "discard"; the binaries build one here
+// and stamp trace/span identifiers on every service log line.
+
+// ParseLogLevel maps a -log-level flag value to a slog level. The empty
+// string means info.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger returns a JSON-handler logger writing to w at the given
+// level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// DiscardLogger returns a logger that drops everything — the default for
+// library code when no logger is injected.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(127), // above every real level: never enabled
+	}))
+}

@@ -129,6 +129,9 @@ func appendJSONString(b []byte, s string) []byte {
 	return append(b, '"')
 }
 
+// SetRun sets the run label stamped on subsequent lines (RunLabeled).
+func (l *JSONL) SetRun(run int) { l.Run = run }
+
 // Flush drains the internal buffer to the underlying writer.
 func (l *JSONL) Flush() error { return l.bw.Flush() }
 

@@ -65,6 +65,31 @@ func checkArrival(index int, v float64) error {
 // before admission instead of discovering it deep in the planner.
 func CheckArrival(v float64) error { return checkArrival(0, v) }
 
+// PlanAudit records how the most recent Add reached its decision — the
+// per-decision visibility the scheduling service attaches to a job's plan
+// span (GET /v1/trace/{id}). Valid after Add returns nil; Commit (cache
+// hits, queue revisions) does not touch it.
+type PlanAudit struct {
+	// Evaluations counts full objective evaluations this Add performed,
+	// the submit-when-ready incumbent included. Zero for trivial DAGs
+	// (no delay-eligible stage: the sweep never ran).
+	Evaluations int
+	// ParallelStages and Paths size the Alg. 1 search space: how many
+	// stages were delay-eligible, over how many execution paths.
+	ParallelStages int
+	Paths          int
+	// IncumbentTotal is the objective (Σ JCT over committed jobs plus the
+	// newcomer) with nil delays — the submit-when-ready incumbent.
+	// ChosenTotal is the committed plan's objective value; it equals
+	// IncumbentTotal whenever FallbackNoWin fired.
+	IncumbentTotal float64
+	ChosenTotal    float64
+	// FallbackNoWin reports that the never-worse guard discarded the
+	// sweep's delays: no candidate beat the incumbent beyond tolerance,
+	// so the job was committed submit-when-ready.
+	FallbackNoWin bool
+}
+
 // OnlinePlanner plans continuously arriving jobs one at a time against
 // the runs already committed — the incremental core of PlanOnline,
 // exposed so a long-running scheduler daemon (internal/service) can admit
@@ -76,6 +101,7 @@ type OnlinePlanner struct {
 	opt    OnlineOptions
 	coarse *cluster.Cluster
 	model  *perfmodel.Model
+	audit  PlanAudit
 
 	committed []sim.JobRun
 	// scratch is reused across the thousands of candidate evaluations one
@@ -115,6 +141,9 @@ func (p *OnlinePlanner) Committed() []sim.JobRun { return p.committed }
 
 // LastArrival returns the highest arrival committed so far.
 func (p *OnlinePlanner) LastArrival() float64 { return p.last }
+
+// LastAudit returns the decision audit of the most recent successful Add.
+func (p *OnlinePlanner) LastAudit() PlanAudit { return p.audit }
 
 // Reset drops every committed run while keeping the arrival watermark.
 // Only valid when the caller knows the cluster is idle (every committed
@@ -188,6 +217,7 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 	weight := func(id dag.StageID) float64 { return solo[id] }
 	k := dag.ParallelStages(job.Graph, reach)
 	run := sim.JobRun{Job: job, Arrival: arrival}
+	p.audit = PlanAudit{ParallelStages: len(k)}
 	if len(k) == 0 {
 		p.committed = append(p.committed, run)
 		p.last = arrival
@@ -207,6 +237,8 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 	if err != nil {
 		return sim.JobRun{}, err
 	}
+	p.audit.Paths = len(paths)
+	p.audit.Evaluations = 1 // the incumbent
 	best := stockTotal
 	soloSum := 0.0
 	for _, id := range k {
@@ -238,6 +270,7 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 					if err != nil {
 						return sim.JobRun{}, err
 					}
+					p.audit.Evaluations++
 					if tot < best-1e-9 {
 						best = tot
 						bestDelay = x
@@ -258,6 +291,12 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 	// form of this guard could never fire.)
 	if len(delays) == 0 || best >= stockTotal-1e-9 {
 		run.Delays = nil
+	}
+	p.audit.IncumbentTotal = stockTotal
+	p.audit.ChosenTotal = best
+	if run.Delays == nil {
+		p.audit.FallbackNoWin = true
+		p.audit.ChosenTotal = stockTotal
 	}
 	p.committed = append(p.committed, run)
 	p.last = arrival

@@ -269,3 +269,63 @@ func TestOnlinePlannerResetKeepsWatermark(t *testing.T) {
 		t.Fatalf("watermark %v, want 120", p.LastArrival())
 	}
 }
+
+// LastAudit must describe the decision Add just made: the search-space
+// sizing, the incumbent-vs-chosen objective values, and whether the
+// never-worse guard fired — the fields the scheduling service attaches to
+// a job's plan span.
+func TestOnlinePlannerLastAudit(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	j := workload.CosineSimilarity(c, 0.15)
+
+	p, err := NewOnlinePlanner(OnlineOptions{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := p.Add(j, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.LastAudit()
+	if a.ParallelStages == 0 || a.Paths == 0 {
+		t.Fatalf("search space not recorded: %+v", a)
+	}
+	if a.Evaluations < 2 {
+		t.Fatalf("sweep ran but Evaluations = %d", a.Evaluations)
+	}
+	if a.IncumbentTotal <= 0 || a.ChosenTotal <= 0 || a.ChosenTotal > a.IncumbentTotal {
+		t.Fatalf("objective values inconsistent: %+v", a)
+	}
+	if a.FallbackNoWin != (run.Delays == nil) {
+		t.Fatalf("FallbackNoWin=%v but Delays=%v", a.FallbackNoWin, run.Delays)
+	}
+
+	// MaxCandidates=1 forces a no-win sweep: the guard fires and the
+	// chosen objective collapses to the incumbent.
+	p, err = NewOnlinePlanner(OnlineOptions{Cluster: c, MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	a = p.LastAudit()
+	if !a.FallbackNoWin || a.ChosenTotal != a.IncumbentTotal {
+		t.Fatalf("no-win audit: %+v", a)
+	}
+
+	// A single-stage chain has no delay-eligible stage: the sweep never
+	// runs and the audit says so.
+	chain := workload.RandomJob("chain", c, 1, rand.New(rand.NewSource(2)))
+	p, err = NewOnlinePlanner(OnlineOptions{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add(chain, 0); err != nil {
+		t.Fatal(err)
+	}
+	a = p.LastAudit()
+	if a.ParallelStages != 0 || a.Evaluations != 0 || a.Paths != 0 {
+		t.Fatalf("trivial-DAG audit should be empty: %+v", a)
+	}
+}

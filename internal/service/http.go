@@ -14,12 +14,14 @@ import (
 
 // HTTP/JSON API, layered on the obs introspection mux:
 //
-//	POST /v1/jobs      submit {"tenant","arrival","job":{jobspec}}
-//	GET  /v1/jobs      all submissions
-//	GET  /v1/jobs/{id} one submission's status
-//	GET  /v1/plan/{id} the chosen delay vector
-//	GET  /v1/cluster   live data-plane state
-//	GET  /metrics      Prometheus text (plus /healthz, /debug/pprof/*)
+//	POST /v1/jobs       submit {"tenant","arrival","job":{jobspec}}
+//	GET  /v1/jobs       all submissions
+//	GET  /v1/jobs/{id}  one submission's status
+//	GET  /v1/plan/{id}  the chosen delay vector
+//	GET  /v1/trace/{id} the job's lifecycle span tree with decision audit
+//	GET  /v1/timeline   the bounded scheduler-milestone ring
+//	GET  /v1/cluster    live data-plane state
+//	GET  /metrics       Prometheus text (plus /healthz, /debug/pprof/*)
 //
 // Submit returns 200 on acceptance, 429 on an admission bounce (body
 // carries the policy's reason), 400 on malformed input — including the
@@ -46,6 +48,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/plan/{id}", s.handlePlan)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.Handle("/", obs.NewIntrospectionMux(s.reg))
 	return s.instrument(mux)

@@ -19,6 +19,8 @@ package service
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"strconv"
 	"sync"
@@ -66,6 +68,17 @@ type Options struct {
 	TimeScale float64
 	// Clock supplies wall time (nil = time.Now; tests inject).
 	Clock func() time.Time
+	// TimelineCapacity bounds the GET /v1/timeline milestone ring (0 =
+	// 256). The ring keeps the newest entries; evictions are reported via
+	// the response's "dropped" count.
+	TimelineCapacity int
+	// TraceLog, when non-nil, receives one JSONL trace line (schema
+	// delaystage/trace/v1) per job the moment it reaches a terminal state
+	// — the export cmd/analyze replays offline.
+	TraceLog io.Writer
+	// Logger receives the service's structured diagnostics (nil =
+	// discard). Every job-scoped line carries the trace_id key.
+	Logger *slog.Logger
 }
 
 // JobState is a job's lifecycle position.
@@ -147,6 +160,8 @@ type jobRecord struct {
 	stages     int
 	state      JobState
 	reason     string
+	requested  float64 // arrival the caller asked for, pre-clamp
+	clamped    bool    // arrival was clamped forward to the observed present
 	arrival    float64
 	end        float64
 	jct        float64
@@ -156,6 +171,19 @@ type jobRecord struct {
 	fp         uint64
 	delays     map[dag.StageID]float64
 	epoch      int
+
+	// Tracing state. queueDepth is the live-job count admission saw;
+	// firstSubmit is the first stage dispatch (−1 until seen), copied out
+	// of the epoch span data at terminal time; stageParents renders the
+	// DAG edges for stage-span attrs; audit is the planning decision;
+	// epochIdx indexes epochSpans while the record's epoch is current;
+	// trace is the span tree frozen at terminal time.
+	queueDepth   int
+	firstSubmit  float64
+	stageParents map[dag.StageID]string
+	audit        *obs.DecisionAudit
+	epochIdx     int
+	trace        *obs.Trace
 }
 
 // Service is the scheduler daemon's engine. All methods are safe for
@@ -168,22 +196,31 @@ type Service struct {
 	clock     func() time.Time
 	start     time.Time
 
-	mu        sync.Mutex
-	planner   *scheduler.OnlinePlanner
-	cache     *templateCache
-	jobs      map[string]*jobRecord
-	history   []*jobRecord
-	nextID    int
-	epoch     int
-	epochRecs []*jobRecord // parallel to planner.Committed()
-	stepper   *sim.Stepper
-	simClock  float64
-	counts    struct{ submitted, admitted, rejected, done, failed int }
+	logger   *slog.Logger
+	traceLog io.Writer
+
+	mu         sync.Mutex
+	planner    *scheduler.OnlinePlanner
+	cache      *templateCache
+	jobs       map[string]*jobRecord
+	history    []*jobRecord
+	nextID     int
+	epoch      int
+	epochRecs  []*jobRecord   // parallel to planner.Committed()
+	epochSpans []*jobSpanData // parallel to epochRecs; wiped on rebuild
+	stepper    *sim.Stepper
+	simClock   float64
+	counts     struct{ submitted, admitted, rejected, done, failed int }
+
+	timeline []TimelineEvent // bounded milestone ring (GET /v1/timeline)
+	tlSeq    int             // next sequence number; also total ever added
+	tlCap    int
 
 	mSubmitted, mAdmitted, mRejected     *obs.Counter
 	mCacheHit, mCacheMiss, mCacheInvalid *obs.Counter
 	mRevised, mEpochs                    *obs.Counter
 	mPlanSec, mJCT                       *obs.Histogram
+	mE2E, mQueueWait                     *obs.Histogram
 	gLive, gSimClock, gCacheSize         *obs.Gauge
 }
 
@@ -217,14 +254,23 @@ func New(opt Options) (*Service, error) {
 	if opt.Clock == nil {
 		opt.Clock = time.Now
 	}
+	if opt.TimelineCapacity <= 0 {
+		opt.TimelineCapacity = 256
+	}
+	if opt.Logger == nil {
+		opt.Logger = obs.DiscardLogger()
+	}
 	s := &Service{
 		opt:       opt,
 		admission: opt.Admission,
 		reg:       opt.Registry,
 		coarse:    sim.Coarsen(opt.Cluster),
 		clock:     opt.Clock,
+		logger:    opt.Logger,
+		traceLog:  opt.TraceLog,
 		planner:   planner,
 		jobs:      map[string]*jobRecord{},
+		tlCap:     opt.TimelineCapacity,
 	}
 	s.start = s.clock()
 	switch {
@@ -247,6 +293,12 @@ func New(opt Options) (*Service, error) {
 		"Wall-clock latency of one Alg. 1 planning sweep.", obs.ExpBuckets(1e-4, 2, 16))
 	s.mJCT = reg.Histogram("schedd_job_jct_seconds", "",
 		"Simulated job completion times.", obs.ExpBuckets(1, 2, 20))
+	s.mE2E = reg.Histogram("schedd_e2e_seconds", "",
+		"Simulated end-to-end latency: requested submit instant to job completion.",
+		obs.ExpBuckets(1, 2, 20))
+	s.mQueueWait = reg.Histogram("schedd_queue_wait_seconds", "",
+		"Simulated wait from arrival to first stage dispatch.",
+		obs.ExpBuckets(0.5, 2, 16))
 	s.gLive = reg.Gauge("schedd_jobs_live", "", "Admitted jobs not yet finished.")
 	s.gSimClock = reg.Gauge("schedd_sim_clock_seconds", "", "Simulated clock high-water mark.")
 	s.gCacheSize = reg.Gauge("schedd_plan_cache_entries", "", "Plan templates currently cached.")
@@ -256,20 +308,27 @@ func New(opt Options) (*Service, error) {
 // Registry returns the registry the service's metrics live in.
 func (s *Service) Registry() *obs.Registry { return s.reg }
 
-// epochObserver marks job records terminal as the data plane steps past
-// their completion events. It runs synchronously inside StepNextEvent,
-// under the service mutex, so it touches service state directly.
+// epochObserver folds the data plane's event stream into per-job span
+// data and marks job records terminal as completion events step past. It
+// runs synchronously inside StepNextEvent, under the service mutex, so it
+// touches service state directly.
 type epochObserver struct{ s *Service }
 
 // OnEvent implements sim.Observer.
 func (o *epochObserver) OnEvent(ev sim.Event) {
-	if ev.Kind != sim.EvJobDone && ev.Kind != sim.EvJobFailed {
-		return
-	}
 	if ev.Job < 0 || ev.Job >= len(o.s.epochRecs) {
 		return
 	}
-	o.s.markTerminal(o.s.epochRecs[ev.Job], ev.T, ev.Kind == sim.EvJobFailed, ev.Detail)
+	switch ev.Kind {
+	case sim.EvJobDone, sim.EvJobFailed:
+		// The engine emits every stage event of a job before its terminal
+		// event, so the span data is complete when the freeze fires.
+		o.s.markTerminal(o.s.epochRecs[ev.Job], ev.T, ev.Kind == sim.EvJobFailed, ev.Detail)
+	default:
+		if ev.Job < len(o.s.epochSpans) {
+			o.s.epochSpans[ev.Job].observeStage(ev)
+		}
+	}
 }
 
 // markTerminal transitions a record to done/failed exactly once. Stepper
@@ -281,15 +340,27 @@ func (s *Service) markTerminal(rec *jobRecord, t float64, failed bool, detail st
 	}
 	rec.end = t
 	rec.jct = t - rec.arrival
+	if sd := s.spanData(rec); sd != nil {
+		rec.firstSubmit = sd.firstSubmit
+	}
+	if rec.firstSubmit >= 0 {
+		s.mQueueWait.Observe(rec.firstSubmit - rec.arrival)
+	}
 	if failed {
 		rec.state = StateFailed
 		rec.reason = detail
 		s.counts.failed++
+		s.timelineAdd(t, "failed", rec.id, detail)
+		s.logger.Info("job failed", "trace_id", rec.id, "t", t, "reason", detail)
 	} else {
 		rec.state = StateDone
 		s.counts.done++
 		s.mJCT.Observe(rec.jct)
+		s.mE2E.Observe(t - rec.requested)
+		s.timelineAdd(t, "done", rec.id, fmt.Sprintf("jct=%.3fs", rec.jct))
+		s.logger.Info("job done", "trace_id", rec.id, "t", t, "jct", rec.jct)
 	}
+	s.freezeTrace(rec)
 }
 
 // liveCount is the number of admitted jobs not yet terminal.
@@ -303,6 +374,13 @@ func (s *Service) liveCount() int {
 // a new run joins the world.
 func (s *Service) rebuild() error {
 	runs := s.planner.Committed()
+	// The fresh stepper replays the epoch prefix from scratch, so the
+	// per-job span observations are wiped and repopulated by the replay —
+	// they always describe exactly the events the current stepper stepped.
+	// Terminal records are unaffected: their trees froze at terminal time.
+	for i := range s.epochSpans {
+		s.epochSpans[i] = newJobSpanData()
+	}
 	if len(runs) == 0 {
 		s.stepper = nil
 		return nil
@@ -338,7 +416,10 @@ func (s *Service) advanceTo(t float64) error {
 			// planning cost tracks the busy period, not daemon uptime.
 			s.stepper = nil
 			s.epochRecs = s.epochRecs[:0]
+			s.epochSpans = s.epochSpans[:0]
 			s.planner.Reset()
+			s.timelineAdd(s.simClock, "epoch", "", fmt.Sprintf("epoch %d drained", s.epoch))
+			s.logger.Debug("epoch drained", "epoch", s.epoch, "sim_clock", s.simClock)
 			s.epoch++
 			s.mEpochs.Inc()
 		}
@@ -390,17 +471,23 @@ func (s *Service) Submit(req SubmitRequest) (JobStatus, error) {
 	depth := s.liveCount()
 
 	rec := &jobRecord{
-		id:      fmt.Sprintf("j-%d", s.nextID),
-		name:    req.Job.Name,
-		tenant:  req.Tenant,
-		stages:  req.Job.Graph.Len(),
-		state:   StateQueued,
-		arrival: arrival,
-		epoch:   s.epoch,
+		id:          fmt.Sprintf("j-%d", s.nextID),
+		name:        req.Job.Name,
+		tenant:      req.Tenant,
+		stages:      req.Job.Graph.Len(),
+		state:       StateQueued,
+		requested:   requested,
+		clamped:     arrival > requested,
+		arrival:     arrival,
+		epoch:       s.epoch,
+		queueDepth:  depth,
+		firstSubmit: -1,
+		epochIdx:    -1,
 	}
 	s.nextID++
 	s.jobs[rec.id] = rec
 	s.history = append(s.history, rec)
+	s.timelineAdd(arrival, "submitted", rec.id, rec.name)
 
 	dec := s.admission.Admit(AdmissionRequest{
 		Tenant:     req.Tenant,
@@ -412,22 +499,39 @@ func (s *Service) Submit(req SubmitRequest) (JobStatus, error) {
 	if !dec.Accept {
 		rec.state = StateRejected
 		rec.reason = dec.Reason
+		rec.end = arrival
 		s.mRejected.Inc()
 		s.counts.rejected++
+		s.timelineAdd(arrival, "rejected", rec.id, dec.Reason)
+		s.logger.Info("job rejected", "trace_id", rec.id, "tenant", rec.tenant,
+			"policy", s.admission.Name(), "reason", dec.Reason)
+		s.freezeTrace(rec)
 		return s.snapshot(rec), nil
 	}
 	s.mAdmitted.Inc()
 	s.counts.admitted++
+	rec.stageParents = stageParents(req.Job.Graph)
 
 	run, err := s.plan(rec, req.Job, arrival, depth)
 	if err != nil {
 		rec.state = StateFailed
 		rec.reason = err.Error()
+		rec.end = arrival
+		rec.audit = nil // render the failure, not a half-built decision
 		s.counts.failed++
+		s.timelineAdd(arrival, "failed", rec.id, err.Error())
+		s.logger.Error("planning failed", "trace_id", rec.id, "err", err.Error())
+		s.freezeTrace(rec)
 		return JobStatus{}, err
 	}
 	rec.delays = run.Delays
+	rec.epochIdx = len(s.epochRecs)
 	s.epochRecs = append(s.epochRecs, rec)
+	s.epochSpans = append(s.epochSpans, newJobSpanData())
+	s.timelineAdd(arrival, "planned", rec.id, rec.planSource)
+	s.logger.Info("job planned", "trace_id", rec.id, "tenant", rec.tenant,
+		"arrival", arrival, "source", rec.planSource, "delays", len(run.Delays),
+		"queue_depth", depth)
 	if err := s.rebuild(); err != nil {
 		return JobStatus{}, err
 	}
@@ -438,17 +542,29 @@ func (s *Service) Submit(req SubmitRequest) (JobStatus, error) {
 }
 
 // plan chooses the job's delay vector — queue revision, template cache, or
-// a cold Alg. 1 sweep — and commits it to the planner.
+// a cold Alg. 1 sweep — commits it to the planner and records the decision
+// audit the job's plan span exposes.
 func (s *Service) plan(rec *jobRecord, job *workload.Job, arrival float64, depth int) (sim.JobRun, error) {
+	t0 := time.Now()
+	audit := &obs.DecisionAudit{QueueDepth: depth}
+	rec.audit = audit
+	defer func() {
+		// Wall time is the one nondeterministic trace field; it is recorded
+		// here once and carried verbatim through every later export.
+		audit.WallSeconds = time.Since(t0).Seconds()
+	}()
 	if s.opt.ReviseQueueDepth > 0 && depth >= s.opt.ReviseQueueDepth {
 		// Policy observes live state: under a deep queue, dispatch
 		// submit-when-ready instead of stacking delay on contention.
 		rec.planSource = "queue-revision"
 		rec.revised = true
+		audit.Source = "queue-revision"
+		audit.Fallback = "queue-depth"
 		s.mRevised.Inc()
 		return s.planner.Commit(job, arrival, nil)
 	}
 	rec.fp = Fingerprint(job)
+	audit.Fingerprint = fmt.Sprintf("%016x", rec.fp)
 	if s.cache != nil {
 		if t := s.cache.get(rec.fp); t != nil {
 			delays := t.instantiate(job)
@@ -456,9 +572,13 @@ func (s *Service) plan(rec *jobRecord, job *workload.Job, arrival float64, depth
 				rec.planSource = "template-cache"
 				rec.cacheHit = true
 				t.hits++
+				audit.Source = "template-cache"
+				audit.CacheHit = true
+				audit.Delays = auditDelays(delays)
 				s.mCacheHit.Inc()
 				return s.planner.Commit(job, arrival, delays)
 			}
+			audit.CacheInvalidated = true
 			s.mCacheInvalid.Inc()
 			s.cache.drop(rec.fp)
 			s.gCacheSize.Set(float64(s.cache.len()))
@@ -466,13 +586,24 @@ func (s *Service) plan(rec *jobRecord, job *workload.Job, arrival float64, depth
 		s.mCacheMiss.Inc()
 	}
 	solo := len(s.planner.Committed()) == 0
-	t0 := time.Now()
+	tPlan := time.Now()
 	run, err := s.planner.Add(job, arrival)
-	s.mPlanSec.Observe(time.Since(t0).Seconds())
+	s.mPlanSec.Observe(time.Since(tPlan).Seconds())
 	if err != nil {
 		return sim.JobRun{}, err
 	}
 	rec.planSource = "planner"
+	audit.Source = "planner"
+	pa := s.planner.LastAudit()
+	audit.Evaluations = pa.Evaluations
+	audit.ParallelStages = pa.ParallelStages
+	audit.Paths = pa.Paths
+	audit.IncumbentTotal = pa.IncumbentTotal
+	audit.ChosenTotal = pa.ChosenTotal
+	if pa.FallbackNoWin {
+		audit.Fallback = "never-worse"
+	}
+	audit.Delays = auditDelays(run.Delays)
 	if s.cache != nil && solo {
 		// Only solo-context plans are cacheable: they come from the same
 		// code path as a cold PlanOnline run, so a later hit reuses a
@@ -481,6 +612,20 @@ func (s *Service) plan(rec *jobRecord, job *workload.Job, arrival float64, depth
 		s.storeTemplate(rec.fp, job, run)
 	}
 	return run, nil
+}
+
+// auditDelays renders a delay vector with string stage keys for the
+// decision audit (JSON object keys must be strings; nil when empty so the
+// field is omitted for submit-when-ready plans).
+func auditDelays(delays map[dag.StageID]float64) map[string]float64 {
+	if len(delays) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(delays))
+	for id, d := range delays {
+		out[strconv.Itoa(int(id))] = d
+	}
+	return out
 }
 
 // driftValid replays the guarded watchdog's drift test for a cache hit:
