@@ -25,6 +25,7 @@ import (
 	"delaystage/internal/core"
 	"delaystage/internal/experiments"
 	"delaystage/internal/scheduler"
+	"delaystage/internal/service"
 	"delaystage/internal/shardsim"
 	"delaystage/internal/sim"
 	"delaystage/internal/trace"
@@ -606,6 +607,83 @@ func BenchmarkOnlineExtension(b *testing.B) {
 		naive, online := r.Rows[0].MeanJCT, r.Rows[2].MeanJCT
 		b.ReportMetric(100*(naive-online)/naive, "%mean-JCT-gain")
 	}
+}
+
+// BenchmarkPlanOnlineLatency measures the end-to-end online planning hot
+// path the scheduling service runs per submission (OnlinePlanner.Add, the
+// incremental core of PlanOnline, behind the plan-template cache):
+//
+//   - cache-cold: a fresh service plans every job with the two-tier
+//     candidate scan — each submission pays the full Alg. 1 sweep.
+//   - cache-warm: the same job set resubmitted against a pre-warmed
+//     template cache — each submission pays only the fingerprint lookup
+//     and the drift-check simulation.
+//
+// benchgate gates both, so planner latency (not just sim throughput) is
+// guarded against regression.
+func BenchmarkPlanOnlineLatency(b *testing.B) {
+	c := cluster.NewM4LargeCluster(30)
+	pool := workload.Gallery(c, 1)
+	for name, job := range workload.PaperWorkloads(c, 1) {
+		pool[name] = job
+	}
+	pool["ALS"] = workload.ALS(c, 1)
+	names := make([]string, 0, len(pool))
+	for name := range pool {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	jobs := make([]*workload.Job, 0, len(names))
+	for _, name := range names {
+		jobs = append(jobs, pool[name])
+	}
+	submitAll := func(b *testing.B, svc *service.Service, base float64) {
+		for j, job := range jobs {
+			at := base + float64(j)*1500
+			if _, err := svc.Submit(service.SubmitRequest{Tenant: "bench", Job: job, Arrival: &at}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Round counts keep each sub-bench's wall-clock above benchgate's
+	// -min-seconds gating floor despite the fast per-submission path.
+	const coldRounds, warmRounds = 8, 128
+	b.Run("cache-cold", func(b *testing.B) {
+		timed(b, func() {
+			for i := 0; i < b.N; i++ {
+				svc, err := service.New(service.Options{Cluster: c, FairByJob: true, CacheCapacity: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < coldRounds; r++ {
+					submitAll(b, svc, float64(r)*1e5)
+				}
+			}
+		})
+	})
+	b.Run("cache-warm", func(b *testing.B) {
+		// A fresh service per iteration keeps simulated time inside the
+		// engine's MaxTime horizon at any b.N; the single warming round is
+		// untimed but still lands in BENCH_sim.json's wall-clock (it is the
+		// same deterministic overhead in the baseline and in every rerun).
+		timed(b, func() {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc, err := service.New(service.Options{Cluster: c, FairByJob: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				submitAll(b, svc, 0) // warm the template cache
+				b.StartTimer()
+				for r := 1; r <= warmRounds; r++ {
+					submitAll(b, svc, float64(r)*1.5e4)
+				}
+				if err := svc.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkSensitivity runs the parameter sweeps.

@@ -116,7 +116,7 @@ func main() {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "  "+f)
 		}
-		fmt.Fprintln(os.Stderr, "If the slowdown is intended, regenerate the baseline with\n  go test -run=XXX -bench=Fig -benchtime=1x .\nand commit the updated BENCH_sim.json.")
+		fmt.Fprintln(os.Stderr, "If the slowdown is intended, regenerate the baseline with\n  go test -run=XXX -bench='Fig|PlanOnline' -benchtime=1x .\nand commit the updated BENCH_sim.json.")
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: OK")

@@ -35,6 +35,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the random order / profiling noise")
 	profile := flag.Bool("profile", false, "plan on profiled (noisy) parameters, as the prototype does")
 	noCache := flag.Bool("no-eval-cache", false, "disable the what-if memo cache and snapshot forking (every candidate simulated from scratch; the schedule is identical either way)")
+	approx := flag.Bool("approx-plan", false, "plan from the analytic bound surrogate only (no simulation per candidate; makespans are estimates)")
+	noPrune := flag.Bool("no-bound-prune", false, "disable the analytic pruning tier of the candidate scan (single-tier reference; the schedule is identical either way)")
 	specPath := flag.String("spec", "", "JSON job spec (overrides -workload)")
 	logPath := flag.String("eventlog", "", "Spark event log to derive the job from (overrides -workload)")
 	dotPath := flag.String("dot", "", "write the schedule-annotated DAG as Graphviz DOT to this file")
@@ -99,7 +101,8 @@ func main() {
 		fmt.Printf("profiled on a 10%% sample in %.1f simulated seconds\n", prof.ProfilingTime)
 	}
 
-	sched, err := core.Compute(core.Options{Cluster: c, Order: order, Seed: *seed, DisableEvalCache: *noCache}, planJob)
+	sched, err := core.Compute(core.Options{Cluster: c, Order: order, Seed: *seed,
+		DisableEvalCache: *noCache, Approximate: *approx, DisableBoundPrune: *noPrune}, planJob)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,6 +129,10 @@ func main() {
 	fmt.Printf("Alg. 1 compute time: %v over %d evaluations", sched.ComputeTime, sched.Evaluations)
 	if sched.CacheHits+sched.ForkedEvals+sched.FullEvals > 0 {
 		fmt.Printf(" (%d cache hits, %d forked, %d full runs)", sched.CacheHits, sched.ForkedEvals, sched.FullEvals)
+	}
+	if sched.Prune.Bounded > 0 {
+		fmt.Printf("\ntwo-tier scan: %d candidates bounded, %d pruned, %d exact, %d approx",
+			sched.Prune.Bounded, sched.Prune.Pruned, sched.Prune.Exact, sched.Prune.Approx)
 	}
 	fmt.Printf("\n\n")
 

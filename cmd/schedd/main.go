@@ -41,6 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"math/rand"
@@ -69,6 +70,7 @@ func main() {
 	maxCandidates := flag.Int("max-candidates", 16, "delay candidates per stage in the planning sweep")
 	slot := flag.Float64("slot", 1, "delay granularity in seconds")
 	fair := flag.Bool("fair", true, "share resources first equally among jobs (Sec. 5.3)")
+	approxPlan := flag.Bool("approx-plan", false, "answer planning decisions from the analytic bound surrogate (no simulation on the control-plane hot path)")
 	timescale := flag.Float64("timescale", 1, "simulated seconds per wall-clock second for submissions without an arrival")
 	replayPath := flag.String("replay", "", "open-loop driver: replay this batch_task CSV trace at its recorded arrivals")
 	poisson := flag.Int("poisson", 0, "open-loop driver: submit this many synthetic gallery jobs with Poisson arrivals")
@@ -108,26 +110,31 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown -policy %q (want accept-all, token-bucket or queue-cap)", *policy))
 	}
-	var traceLog *os.File
+	// traceLog stays the untyped nil interface when -events is unset: a
+	// typed-nil *os.File would pass the service's `!= nil` export guard
+	// and fail every write with EINVAL.
+	var traceLog io.Writer
 	if *events != "" {
-		traceLog, err = os.Create(*events)
+		f, err := os.Create(*events)
 		if err != nil {
 			fail(err)
 		}
-		defer traceLog.Close()
+		defer f.Close()
+		traceLog = f
 	}
 	svc, err := service.New(service.Options{
-		Cluster:          c,
-		Admission:        admit,
-		DriftTolerance:   *driftTol,
-		ReviseQueueDepth: *reviseDepth,
-		CacheCapacity:    *cacheSize,
-		MaxCandidates:    *maxCandidates,
-		SlotSeconds:      *slot,
-		FairByJob:        *fair,
-		TimeScale:        *timescale,
-		TraceLog:         traceLog,
-		Logger:           logger,
+		Cluster:             c,
+		Admission:           admit,
+		DriftTolerance:      *driftTol,
+		ReviseQueueDepth:    *reviseDepth,
+		CacheCapacity:       *cacheSize,
+		MaxCandidates:       *maxCandidates,
+		SlotSeconds:         *slot,
+		FairByJob:           *fair,
+		ApproximatePlanning: *approxPlan,
+		TimeScale:           *timescale,
+		TraceLog:            traceLog,
+		Logger:              logger,
 	})
 	if err != nil {
 		fail(err)

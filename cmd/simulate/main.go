@@ -74,6 +74,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one exists (missing or stale checkpoints start fresh)")
 	guarded := flag.Bool("guarded", false, "attach the runtime watchdog to a delaystage strategy (cancels stale delays)")
 	parallelism := flag.Int("parallelism", 1, "goroutines for the delaystage candidate scan (plan is bit-identical at any setting)")
+	approxPlan := flag.Bool("approx-plan", false, "plan delaystage variants from the analytic bound surrogate only (no simulation per candidate)")
 	eventsPath := flag.String("events", "", "write a JSONL event log of the run to this file (\"-\" = stdout)")
 	tracePath := flag.String("chrometrace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to this file")
 	jsonPath := flag.String("json", "", "write a machine-readable run summary to this file (\"-\" = stdout)")
@@ -121,13 +122,18 @@ func main() {
 	case "fuxi":
 		strat = scheduler.Fuxi{}
 	case "delaystage":
-		strat = scheduler.DelayStage{Parallelism: *parallelism}
+		strat = scheduler.DelayStage{Parallelism: *parallelism, Approximate: *approxPlan}
 	case "delaystage-ascending":
-		strat = scheduler.DelayStage{Order: core.Ascending, Parallelism: *parallelism}
+		strat = scheduler.DelayStage{Order: core.Ascending, Parallelism: *parallelism, Approximate: *approxPlan}
 	case "delaystage-random":
-		strat = scheduler.DelayStage{Order: core.Random, Parallelism: *parallelism}
+		strat = scheduler.DelayStage{Order: core.Random, Parallelism: *parallelism, Approximate: *approxPlan}
 	default:
 		log.Fatalf("unknown strategy %q", *stratName)
+	}
+	if *approxPlan {
+		if _, ok := strat.(scheduler.DelayStage); !ok {
+			log.Fatalf("-approx-plan requires a delaystage strategy, got %q", *stratName)
+		}
 	}
 	if *guarded {
 		ds, ok := strat.(scheduler.DelayStage)

@@ -102,6 +102,48 @@ type Options struct {
 	// exists for benchmarking the speedup and as a safety valve. Ignored
 	// under UseModelEvaluator.
 	DisableEvalCache bool
+	// DisableBoundPrune turns off the two-tier scan's analytic tier so
+	// every candidate is answered by the exact evaluator — the single-tier
+	// reference the invariance tests and benchmarks compare against.
+	// Schedules are byte-identical either way: a pruned candidate's lower
+	// bound already met the scan's best, so its exact makespan provably
+	// fails the improve-by-tolerance test.
+	DisableBoundPrune bool
+	// Approximate answers every candidate from the analytic bound
+	// surrogate's estimate instead of any exact evaluator — massive-scale
+	// planning at O(V log V) per candidate, no simulation at all. The
+	// schedule quality is whatever the surrogate's overlap model buys;
+	// Makespan/StockMakespan are estimates, not simulations. Overrides
+	// UseModelEvaluator; Evaluations land in PruneStats.Approx.
+	Approximate bool
+}
+
+// PruneStats breaks the two-tier candidate scan down: how many candidates
+// received an analytic bound, how many the lower bound eliminated before
+// any exact evaluation, and how the rest were answered.
+type PruneStats struct {
+	// Bounded counts scan candidates for which an analytic lower bound was
+	// computed (the incumbent re-use is never bounded — it is never
+	// re-evaluated either).
+	Bounded int `json:"bounded"`
+	// Pruned counts candidates the bound eliminated: lower(candidate)
+	// already met the scan-start best, so the exact evaluator provably
+	// could not improve on it.
+	Pruned int `json:"pruned"`
+	// Exact counts evaluations answered by the exact evaluator (fluid
+	// simulation or closed-form model); Approx counts evaluations answered
+	// by the bound surrogate (Options.Approximate). Exact + Approx =
+	// Schedule.Evaluations.
+	Exact  int `json:"exact"`
+	Approx int `json:"approx"`
+}
+
+// add accumulates s into p (experiment aggregation).
+func (p *PruneStats) Add(s PruneStats) {
+	p.Bounded += s.Bounded
+	p.Pruned += s.Pruned
+	p.Exact += s.Exact
+	p.Approx += s.Approx
 }
 
 // Schedule is Alg. 1's output.
@@ -123,13 +165,18 @@ type Schedule struct {
 	// Evaluations counts candidate makespan evaluations performed.
 	Evaluations int
 	// CacheHits, ForkedEvals and FullEvals break Evaluations down by how
-	// the sim evaluator answered them: from the what-if memo cache, by
+	// the evaluator answered them: from the what-if memo cache, by
 	// forking a scan snapshot (prefix shared, only the suffix simulated),
-	// or by a from-scratch simulation. All zero under UseModelEvaluator
-	// (the closed-form model neither caches nor forks).
+	// or by a from-scratch run. Under UseModelEvaluator, CacheHits counts
+	// layout-memo hits and FullEvals full layouts (nothing forks); all
+	// zero under Approximate (the bound surrogate is cheaper than any
+	// cache).
 	CacheHits   int
 	ForkedEvals int
 	FullEvals   int
+	// Prune breaks the two-tier scan down: bounded / pruned candidates and
+	// the exact-vs-approximate split of Evaluations.
+	Prune PruneStats
 	// BudgetExceeded reports that Options.Budget ran out and Delays is
 	// the all-zero fallback.
 	BudgetExceeded bool
@@ -230,10 +277,35 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 	}
 	sched.Paths = paths
 
+	// The analytic bound evaluator backs both tiers of the two-tier scan:
+	// the pruning tier (lower bounds against the scan-start best) and, in
+	// approximate mode, the scoring itself. It must be built on the cluster
+	// the exact evaluator actually runs against — the coarse view for the
+	// sim tier, the raw cluster for the model tier — and the aggregate
+	// work/capacity term is only sound against the simulator (the model's
+	// truncated stretch fixed point does not conserve capacity).
+	var bev *perfmodel.BoundEvaluator
+	if !opt.DisableBoundPrune || opt.Approximate {
+		bcl := opt.Cluster
+		includeWork := true
+		if opt.UseModelEvaluator && !opt.Approximate {
+			includeWork = false
+		} else {
+			bcl = coarseFor(opt.Cluster)
+		}
+		bev, err = perfmodel.NewBoundEvaluator(bcl, job, perfmodel.BoundConfig{IncludeWorkBound: includeWork})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var ev Evaluator
-	if opt.UseModelEvaluator {
+	switch {
+	case opt.Approximate:
+		ev = &approxEvaluator{b: bev}
+	case opt.UseModelEvaluator:
 		ev = newModelEvaluator(model, job, reach, k, solo)
-	} else {
+	default:
 		ev = newSimEvaluator(opt.Cluster, job, k, opt.DisableEvalCache)
 	}
 	captureStats := func() {
@@ -242,6 +314,22 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 			sched.CacheHits, sched.ForkedEvals, sched.FullEvals = st.CacheHits, st.ForkedRuns, st.FullRuns
 		}
 	}
+	// In approximate mode ev *is* the bound evaluator, so its SetActive
+	// keeps the bounds in sync; otherwise the pruning tier tracks the
+	// exact evaluator's active set explicitly.
+	setActive := func(active map[dag.StageID]bool) error {
+		if err := ev.SetActive(active); err != nil {
+			return err
+		}
+		if bev != nil && !opt.Approximate {
+			bev.SetActive(active)
+		}
+		return nil
+	}
+	sc := &scanCtx{ev: ev, sched: sched, solo: solo, opt: opt}
+	if !opt.DisableBoundPrune {
+		sc.bounds = bev
+	}
 
 	// Initial makespan estimate with no delays: Tmax (line 3).
 	tmax, err := ev.Makespan(nil)
@@ -249,7 +337,7 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 		return nil, err
 	}
 	sched.StockMakespan = tmax
-	sched.Evaluations++
+	sc.countEval(1)
 
 	if opt.RefinePasses == 0 {
 		opt.RefinePasses = 2
@@ -278,11 +366,12 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 	// already scheduled.
 	active := map[dag.StageID]bool{}
 	scheduled := map[dag.StageID]bool{}
+	sc.tmax, sc.deadline = tmax, deadline
 	for _, p := range paths {
 		for _, kid := range p.Stages {
 			active[kid] = true
 		}
-		if err := ev.SetActive(active); err != nil {
+		if err := setActive(active); err != nil {
 			return nil, err
 		}
 		for _, kid := range p.Stages {
@@ -290,7 +379,7 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 				continue
 			}
 			scheduled[kid] = true
-			switch err := e2scan(ev, sched, solo, kid, tmax, opt, nil, deadline); err {
+			switch err := sc.scan(kid, nil); err {
 			case nil:
 			case errBudget:
 				return bail()
@@ -302,14 +391,14 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 
 	// Refinement passes (extension, see Options.RefinePasses): re-scan
 	// every stage against the full set, discarding delays that went stale.
-	if err := ev.SetActive(nil); err != nil {
+	if err := setActive(nil); err != nil {
 		return nil, err
 	}
 	best, err := ev.Makespan(sched.Delays)
 	if err != nil {
 		return nil, err
 	}
-	sched.Evaluations++
+	sc.countEval(1)
 	for pass := 0; pass < opt.RefinePasses; pass++ {
 		seen := map[dag.StageID]bool{}
 		for _, p := range paths {
@@ -318,7 +407,7 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 					continue
 				}
 				seen[kid] = true
-				switch err := e2scan(ev, sched, solo, kid, tmax, opt, &best, deadline); err {
+				switch err := sc.scan(kid, &best); err {
 				case nil:
 				case errBudget:
 					return bail()
@@ -331,7 +420,7 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 		if err != nil {
 			return nil, err
 		}
-		sched.Evaluations++
+		sc.countEval(1)
 		if nb >= best-1e-9 {
 			best = nb
 			break
@@ -354,13 +443,44 @@ func Compute(opt Options, job *workload.Job) (*Schedule, error) {
 // errBudget aborts a scan when Options.Budget is spent.
 var errBudget = fmt.Errorf("core: compute budget exceeded")
 
-// e2scan scans the delay candidates of one stage and stores the argmin in
-// sched.Delays. When globalBest is nil the comparison baseline is the
-// active-set makespan with the stage's incumbent delay (first sweep);
-// otherwise globalBest is used and updated (refinement). A non-zero
-// deadline makes the scan abort with errBudget once passed.
-func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
-	kid dag.StageID, tmax float64, opt Options, globalBest *float64, deadline time.Time) error {
+// scanCtx carries one Compute call's scan machinery: the evaluator, the
+// optional analytic pruning tier, the schedule being built and the scan
+// invariants (solo times, tmax, budget deadline).
+type scanCtx struct {
+	ev     Evaluator
+	bounds *perfmodel.BoundEvaluator // nil = single-tier (no pruning)
+	sched  *Schedule
+	solo   map[dag.StageID]float64
+	tmax   float64
+	opt    Options
+
+	deadline time.Time
+	skip     []bool // per-candidate prune mask, reused across scans
+}
+
+// countEval attributes n evaluator answers to the right PruneStats side.
+func (sc *scanCtx) countEval(n int) {
+	sc.sched.Evaluations += n
+	if sc.opt.Approximate {
+		sc.sched.Prune.Approx += n
+	} else {
+		sc.sched.Prune.Exact += n
+	}
+}
+
+// scan runs the two-tier candidate scan of one stage and stores the
+// argmin in sched.Delays. When globalBest is nil the comparison baseline
+// is the active-set makespan with the stage's incumbent delay (first
+// sweep); otherwise globalBest is used and updated (refinement). A
+// non-zero deadline makes the scan abort with errBudget once passed.
+//
+// Tier 1 prunes against the *scan-start* best — not the running best —
+// so the surviving set, and with it every counter, is independent of
+// Parallelism. Byte-identity to the single-tier scan holds either way:
+// exact(c) ≥ lower(c) ≥ best₀ − tol ≥ runningBest − tol means the
+// sequential comparison below could never have accepted c.
+func (sc *scanCtx) scan(kid dag.StageID, globalBest *float64) error {
+	ev, sched, opt, deadline := sc.ev, sc.sched, sc.opt, sc.deadline
 	if err := opt.Ctx.Err(); err != nil {
 		return err
 	}
@@ -381,7 +501,7 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 	if err != nil {
 		return err
 	}
-	sched.Evaluations++
+	sc.countEval(1)
 	best := base
 	if globalBest != nil {
 		best = *globalBest
@@ -390,25 +510,57 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 	// bound 0 by construction; the upper bound is the job-level stock
 	// makespan minus the stage's own solo time (delaying past that point
 	// cannot shorten any path it is on).
-	upper := tmax - solo[kid]
+	upper := sc.tmax - sc.solo[kid]
 	if upper < 0 {
 		upper = 0
 	}
 	bestDelay := incumbent
 	cands := candidates(upper, opt.SlotSeconds, opt.MaxCandidates)
+
+	// Tier 1: analytic lower bounds. lower(x) = max(rest, through+x) in
+	// O(1) per candidate after one O(V+E) ScanLower. The small slack term
+	// absorbs the simulator's float-integration noise: a bound that ties
+	// the exact makespan to ~1e-9 relative precision must not prune.
+	skip := sc.skip[:0]
+	if sc.bounds != nil && len(cands) > 1 {
+		if through, rest, ok := sc.bounds.ScanLower(kid, sched.Delays); ok {
+			for _, x := range cands {
+				s := false
+				if !(x == incumbent && had) {
+					sched.Prune.Bounded++
+					lb := rest
+					if t := through + x; t > lb {
+						lb = t
+					}
+					if lb-1e-9*(1+lb) >= best-1e-9 {
+						s = true
+						sched.Prune.Pruned++
+					}
+				}
+				skip = append(skip, s)
+			}
+		}
+	}
+	sc.skip = skip
+
+	// Tier 2: exact evaluation of the survivors, argmin replayed in
+	// candidate order either way.
 	if opt.Parallelism > 1 && len(cands) > 1 {
 		// Evaluate every candidate concurrently, then replay the argmin
 		// comparison sequentially in candidate order — the same floats
 		// compared in the same order as the sequential loop below, so the
 		// chosen delay (ties included) is bit-identical.
-		mks, evals, err := scanParallel(opt.Ctx, ev, sched.Delays, kid, incumbent, had, cands, opt.Parallelism, deadline)
+		mks, evals, err := scanParallel(opt.Ctx, ev, sched.Delays, kid, incumbent, had, cands, skip, opt.Parallelism, deadline)
 		if err != nil {
 			return err
 		}
-		sched.Evaluations += evals
+		sc.countEval(evals)
 		for ci, x := range cands {
 			if x == incumbent && had {
 				continue // already measured as base
+			}
+			if len(skip) > 0 && skip[ci] {
+				continue // tier 1: provably cannot win
 			}
 			if mk := mks[ci]; mk < best-1e-9 {
 				best = mk
@@ -419,6 +571,9 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 		for ci, x := range cands {
 			if x == incumbent && had {
 				continue // already measured as base
+			}
+			if len(skip) > 0 && skip[ci] {
+				continue // tier 1: provably cannot win
 			}
 			if ci%8 == 0 {
 				if err := opt.Ctx.Err(); err != nil {
@@ -433,7 +588,7 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 			if err != nil {
 				return err
 			}
-			sched.Evaluations++
+			sc.countEval(1)
 			if mk < best-1e-9 {
 				best = mk
 				bestDelay = x
@@ -453,15 +608,16 @@ func e2scan(ev Evaluator, sched *Schedule, solo map[dag.StageID]float64,
 
 // scanParallel fans a stage's candidate evaluations out over min(workers,
 // len(cands)) goroutines, each with its own Evaluator clone and private
-// copy of the delay map. It returns the per-candidate makespans (indexed
-// like cands) and how many evaluations ran. Work is handed out by an
-// atomic counter; any worker error stops the scan, and a spent deadline
-// surfaces as errBudget exactly as in the sequential loop. A cancelled
-// ctx stops every worker before its next candidate and surfaces as
-// ctx.Err(); the WaitGroup join below means no goroutine outlives the
-// call either way.
+// copy of the delay map. Candidates marked in skip (the pruned tier; nil
+// or empty = none) are passed over exactly as the sequential loop does.
+// It returns the per-candidate makespans (indexed like cands) and how
+// many evaluations ran. Work is handed out by an atomic counter; any
+// worker error stops the scan, and a spent deadline surfaces as errBudget
+// exactly as in the sequential loop. A cancelled ctx stops every worker
+// before its next candidate and surfaces as ctx.Err(); the WaitGroup join
+// below means no goroutine outlives the call either way.
 func scanParallel(ctx context.Context, ev Evaluator, delays map[dag.StageID]float64, kid dag.StageID,
-	incumbent float64, had bool, cands []float64, workers int, deadline time.Time) ([]float64, int, error) {
+	incumbent float64, had bool, cands []float64, skip []bool, workers int, deadline time.Time) ([]float64, int, error) {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -488,6 +644,9 @@ func scanParallel(ctx context.Context, ev Evaluator, delays map[dag.StageID]floa
 				x := cands[ci]
 				if x == incumbent && had {
 					continue // already measured as base
+				}
+				if len(skip) > 0 && skip[ci] {
+					continue // pruned by the analytic tier
 				}
 				if err := ctx.Err(); err != nil {
 					errs[w] = err
@@ -526,9 +685,23 @@ func scanParallel(ctx context.Context, ev Evaluator, delays map[dag.StageID]floa
 
 // candidates returns the slotted delay candidates in [0, upper]. The slot
 // widens adaptively when upper/slot exceeds maxN, bounding Alg. 1's cost on
-// very long makespans.
+// very long makespans. Edge contract (tested by TestCandidates):
+//
+//   - upper ≤ 0 or NaN → {0}: no scan range, zero delay is always feasible
+//   - upper < slot     → {0}: the range holds no second slot boundary
+//   - slot ≤ 0 or NaN  → treated as 1 s (Compute normalizes SlotSeconds,
+//     but direct callers get the paper's default instead of an int
+//     overflow in the floor)
+//   - maxN ≤ 1         → {0}: a single candidate is the zero delay, not a
+//     division-by-zero slot widening
 func candidates(upper, slot float64, maxN int) []float64 {
-	if upper <= 0 {
+	if !(upper > 0) {
+		return []float64{0}
+	}
+	if !(slot > 0) {
+		slot = 1
+	}
+	if maxN <= 1 {
 		return []float64{0}
 	}
 	n := int(math.Floor(upper/slot)) + 1

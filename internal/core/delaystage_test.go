@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -174,6 +175,35 @@ func TestCandidates(t *testing.T) {
 	cs = candidates(1000, 1, 5)
 	if len(cs) != 5 || cs[4] != 1000 {
 		t.Fatalf("adaptive candidates = %v", cs)
+	}
+	// Edge contract (see the function comment): each case must yield the
+	// defined single-candidate slice, not a loop accident.
+	for _, tc := range []struct {
+		name        string
+		upper, slot float64
+		maxN        int
+	}{
+		{"upper<slot", 0.5, 1, 64},
+		{"slot==0", 10, 0, 64}, // normalized to 1 s slots → 11 candidates
+		{"maxN==1", 10, 1, 1},
+		{"negative upper", -3, 1, 64},
+		{"NaN upper", math.NaN(), 1, 64},
+		{"NaN slot", 10, math.NaN(), 64},
+		{"maxN==0", 10, 1, 0},
+	} {
+		cs := candidates(tc.upper, tc.slot, tc.maxN)
+		switch tc.name {
+		case "slot==0", "NaN slot":
+			if len(cs) != 11 || cs[0] != 0 || cs[10] != 10 {
+				t.Fatalf("%s: candidates(%v,%v,%d) = %v, want 0..10",
+					tc.name, tc.upper, tc.slot, tc.maxN, cs)
+			}
+		default:
+			if len(cs) != 1 || cs[0] != 0 {
+				t.Fatalf("%s: candidates(%v,%v,%d) = %v, want [0]",
+					tc.name, tc.upper, tc.slot, tc.maxN, cs)
+			}
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -254,7 +255,7 @@ func (e *simEvaluator) fingerprint(delays map[dag.StageID]float64) string {
 			pairs = append(pairs, delayPair{id: id, bits: math.Float64bits(v)})
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	slices.SortFunc(pairs, func(a, b delayPair) int { return int(a.id) - int(b.id) })
 	e.pairScratch = pairs
 	key := append(e.keyScratch[:0], e.activeKey...)
 	for _, p := range pairs {
@@ -417,12 +418,22 @@ func jobEnd(res *sim.Result) float64 {
 type modelEvaluator struct {
 	job    *workload.Job
 	topo   []dag.StageID
+	idx    map[dag.StageID]int
 	active map[dag.StageID]bool
 	inK    map[dag.StageID]bool
 	soloR  map[dag.StageID]float64
 	soloC  map[dag.StageID]float64
 	soloW  map[dag.StageID]float64
 	alpha  float64 // contention-overhead factor matching the simulator
+
+	// Memoized layouts, shared with clones like the sim evaluator's memo:
+	// refine passes and the base evaluation of each scan re-ask
+	// configurations the previous scan already priced, and a layout on a
+	// 100+-stage job is thousands of float operations. The key is exact
+	// (active set + float bits of every applicable non-zero delay), so a
+	// hit returns the identical float a recomputation would.
+	shared    *modelShared
+	activeKey string
 
 	// Flattened per-index state, precomputed once: layout() runs tens of
 	// thousands of times per Compute call on large jobs.
@@ -434,6 +445,17 @@ type modelEvaluator struct {
 	bounds     [][4]float64
 	stretch    [][3]float64
 	covScratch []covEvent
+	ovS, ovF   []float64
+
+	keyScratch  []byte
+	pairScratch []delayPair
+}
+
+// modelShared is the memo state one modelEvaluator shares with its clones.
+type modelShared struct {
+	mu    sync.Mutex
+	memo  map[string]float64
+	stats EvalStats
 }
 
 func newModelEvaluator(m *perfmodel.Model, job *workload.Job, reach *dag.Reachability,
@@ -445,15 +467,19 @@ func newModelEvaluator(m *perfmodel.Model, job *workload.Job, reach *dag.Reachab
 	topo, _ := job.Graph.TopoSort()
 	e := &modelEvaluator{
 		job: job, topo: topo, inK: inK,
-		soloR: make(map[dag.StageID]float64, len(topo)),
-		soloC: make(map[dag.StageID]float64, len(topo)),
-		soloW: make(map[dag.StageID]float64, len(topo)),
-		alpha: 0.22,
+		soloR:  make(map[dag.StageID]float64, len(topo)),
+		soloC:  make(map[dag.StageID]float64, len(topo)),
+		soloW:  make(map[dag.StageID]float64, len(topo)),
+		alpha:  0.22,
+		shared: &modelShared{memo: map[string]float64{}},
+
+		activeKey: "*",
 	}
 	idx := make(map[dag.StageID]int, len(topo))
 	for i, id := range topo {
 		idx[id] = i
 	}
+	e.idx = idx
 	n := len(topo)
 	e.parentIdx = make([][]int, n)
 	e.soloRi = make([]float64, n)
@@ -462,6 +488,8 @@ func newModelEvaluator(m *perfmodel.Model, job *workload.Job, reach *dag.Reachab
 	e.activeIdx = make([]bool, n)
 	e.bounds = make([][4]float64, n)
 	e.stretch = make([][3]float64, n)
+	e.ovS = make([]float64, n)
+	e.ovF = make([]float64, n)
 	for i, id := range topo {
 		r, c, w := m.PhaseBreakdown(job.Profiles[id])
 		e.soloR[id], e.soloC[id], e.soloW[id] = r, c, w
@@ -483,16 +511,54 @@ func (e *modelEvaluator) Clone() Evaluator {
 	n := len(e.topo)
 	c.bounds = make([][4]float64, n)
 	c.stretch = make([][3]float64, n)
+	c.ovS = make([]float64, n)
+	c.ovF = make([]float64, n)
 	c.covScratch = nil
+	c.keyScratch, c.pairScratch = nil, nil
 	return &c
 }
 
 func (e *modelEvaluator) SetActive(active map[dag.StageID]bool) error {
 	e.active = active
+	e.activeKey = activeKeyOf(active)
 	for i, id := range e.topo {
 		e.activeIdx[i] = active == nil || active[id]
 	}
 	return nil
+}
+
+// fingerprint canonically encodes (active set, effective delay vector) the
+// same way the sim evaluator does: only non-zero delays of active stages
+// count, so "no entry" and "explicit 0" share one memo slot.
+func (e *modelEvaluator) fingerprint(delays map[dag.StageID]float64) string {
+	pairs := e.pairScratch[:0]
+	for id, v := range delays {
+		if v == 0 {
+			continue
+		}
+		if i, ok := e.idx[id]; ok && e.activeIdx[i] {
+			pairs = append(pairs, delayPair{id: id, bits: math.Float64bits(v)})
+		}
+	}
+	slices.SortFunc(pairs, func(a, b delayPair) int { return int(a.id) - int(b.id) })
+	e.pairScratch = pairs
+	key := append(e.keyScratch[:0], e.activeKey...)
+	for _, p := range pairs {
+		key = append(key, '|')
+		key = strconv.AppendInt(key, int64(p.id), 10)
+		key = append(key, ':')
+		key = strconv.AppendUint(key, p.bits, 16)
+	}
+	e.keyScratch = key
+	return string(key)
+}
+
+// evalStats returns the shared memo counters (ForkedRuns stays zero: the
+// closed-form model has nothing to fork).
+func (e *modelEvaluator) evalStats() EvalStats {
+	e.shared.mu.Lock()
+	defer e.shared.mu.Unlock()
+	return e.shared.stats
 }
 
 func (e *modelEvaluator) isActive(id dag.StageID) bool {
@@ -523,8 +589,18 @@ func PredictTimelines(m *perfmodel.Model, job *workload.Job) (map[dag.StageID]fl
 }
 
 // Makespan lays every active stage out as three consecutive phase
-// intervals and iterates interference stretches to a fixed point.
+// intervals and iterates interference stretches to a fixed point,
+// memoizing per exact configuration.
 func (e *modelEvaluator) Makespan(delays map[dag.StageID]float64) (float64, error) {
+	fp := e.fingerprint(delays)
+	sh := e.shared
+	sh.mu.Lock()
+	if mk, ok := sh.memo[fp]; ok {
+		sh.stats.CacheHits++
+		sh.mu.Unlock()
+		return mk, nil
+	}
+	sh.mu.Unlock()
 	bounds, err := e.layout(delays)
 	if err != nil {
 		return 0, err
@@ -541,6 +617,10 @@ func (e *modelEvaluator) Makespan(delays map[dag.StageID]float64) (float64, erro
 			hi = bounds[i][3]
 		}
 	}
+	sh.mu.Lock()
+	sh.memo[fp] = hi
+	sh.stats.FullRuns++
+	sh.mu.Unlock()
 	return hi, nil
 }
 
@@ -593,11 +673,11 @@ func (e *modelEvaluator) layout(delays map[dag.StageID]float64) ([][4]float64, e
 		// Per-phase stretch: equal sharing with contention overhead. With
 		// a time-averaged overlap count f̄ (self included), the effective
 		// rate is 1/(f̄·(1+α(f̄−1))) of solo. The pairwise overlap sums are
-		// answered from a per-phase coverage integral in O(log n) per
-		// stage instead of O(n) — Alg. 1 calls this layout thousands of
-		// times on 100+-stage trace jobs (Fig. 15).
+		// answered in O(1) per stage from one sorted event sweep — Alg. 1
+		// calls this layout thousands of times per Compute on 100+-stage
+		// trace jobs (Fig. 15), so the sweep is the planner's hot loop.
 		for ph := 0; ph < 3; ph++ {
-			cov := e.buildCoverage(bounds, ph)
+			e.phaseOverlaps(bounds, ph)
 			for i := range e.topo {
 				if !e.activeIdx[i] {
 					continue
@@ -608,7 +688,7 @@ func (e *modelEvaluator) layout(delays map[dag.StageID]float64) ([][4]float64, e
 					continue
 				}
 				// Total coverage over [s,f] minus this stage's own f−s.
-				overlap := cov.integral(f) - cov.integral(s) - (f - s)
+				overlap := e.ovF[i] - e.ovS[i] - (f - s)
 				if overlap < 0 {
 					overlap = 0
 				}
@@ -624,22 +704,72 @@ func (e *modelEvaluator) layout(delays map[dag.StageID]float64) ([][4]float64, e
 	return bounds, nil
 }
 
-// coverage is a piecewise-linear integral of interval-coverage count over
-// time: integral(t) = ∫₀ᵗ #{active intervals covering u} du.
-type coverage struct {
-	ts  []float64 // event times, ascending
-	cum []float64 // integral value at each event time
-	cnt []float64 // coverage count on [ts[i], ts[i+1])
-}
-
-// covEvent is one +1/−1 coverage-count change.
+// covEvent is one +1/−1 coverage-count change of stage idx's interval.
 type covEvent struct {
-	t float64
-	d float64
+	t   float64
+	idx int32
+	d   int8
 }
 
-// buildCoverage indexes the active stages' ph-phase intervals.
-func (e *modelEvaluator) buildCoverage(bounds [][4]float64, ph int) *coverage {
+// sortCovEvents orders events by time ascending (ties in any order) with
+// a direct-compare quicksort: the generic/closure sort's indirect compare
+// calls alone were ~25% of Alg. 1's model-tier runtime on Fig. 15 jobs.
+func sortCovEvents(evs []covEvent) {
+	for len(evs) > 12 {
+		// Median-of-three pivot to first position.
+		m := len(evs) / 2
+		h := len(evs) - 1
+		if evs[m].t < evs[0].t {
+			evs[m], evs[0] = evs[0], evs[m]
+		}
+		if evs[h].t < evs[0].t {
+			evs[h], evs[0] = evs[0], evs[h]
+		}
+		if evs[h].t < evs[m].t {
+			evs[h], evs[m] = evs[m], evs[h]
+		}
+		evs[0], evs[m] = evs[m], evs[0]
+		p := evs[0].t
+		i, j := 1, h
+		for {
+			for i <= j && evs[i].t < p {
+				i++
+			}
+			for i <= j && evs[j].t > p {
+				j--
+			}
+			if i > j {
+				break
+			}
+			evs[i], evs[j] = evs[j], evs[i]
+			i++
+			j--
+		}
+		evs[0], evs[j] = evs[j], evs[0]
+		// Recurse on the smaller half, loop on the larger.
+		if j < len(evs)-j {
+			sortCovEvents(evs[:j])
+			evs = evs[j+1:]
+		} else {
+			sortCovEvents(evs[j+1:])
+			evs = evs[:j]
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].t < evs[j-1].t; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// phaseOverlaps fills ovS/ovF with ∫₀ᵗ coverage du evaluated at every
+// active stage's ph-phase start and end: one typed sort plus one event
+// sweep, no per-stage binary searches. Every query time is itself an
+// event time and the integral is accumulated group-by-group in ascending
+// time order — exactly the sequence of float additions the former
+// coverage index performed — so the recorded values are bit-identical to
+// what its integral() lookups returned.
+func (e *modelEvaluator) phaseOverlaps(bounds [][4]float64, ph int) {
 	evs := e.covScratch[:0]
 	for i := range e.topo {
 		if !e.activeIdx[i] {
@@ -649,38 +779,54 @@ func (e *modelEvaluator) buildCoverage(bounds [][4]float64, ph int) *coverage {
 		if f <= s {
 			continue
 		}
-		evs = append(evs, covEvent{t: s, d: 1}, covEvent{t: f, d: -1})
+		evs = append(evs,
+			covEvent{t: s, idx: int32(i), d: 1},
+			covEvent{t: f, idx: int32(i), d: -1})
 	}
 	e.covScratch = evs
-	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
-	c := &coverage{}
-	cur, integral := 0.0, 0.0
+	// Ties may land in any order: the integral value at t is recorded for
+	// every event of the group before any of the group's ±1 deltas apply,
+	// so intra-group order cannot change a result.
+	sortCovEvents(evs)
+	cur, integral, prev := 0.0, 0.0, 0.0
 	for i := 0; i < len(evs); {
 		t := evs[i].t
-		if n := len(c.ts); n > 0 {
-			integral += cur * (t - c.ts[n-1])
+		if i > 0 {
+			integral += cur * (t - prev)
 		}
+		prev = t
 		for i < len(evs) && evs[i].t == t {
-			cur += evs[i].d
+			ev := evs[i]
+			if ev.d > 0 {
+				e.ovS[ev.idx] = integral
+			} else {
+				e.ovF[ev.idx] = integral
+			}
+			cur += float64(ev.d)
 			i++
 		}
-		c.ts = append(c.ts, t)
-		c.cum = append(c.cum, integral)
-		c.cnt = append(c.cnt, cur)
 	}
-	return c
 }
 
-// integral returns ∫₀ᵗ coverage du.
-func (c *coverage) integral(t float64) float64 {
-	n := len(c.ts)
-	if n == 0 || t <= c.ts[0] {
-		return 0
-	}
-	// Find the last event time ≤ t.
-	i := sort.SearchFloat64s(c.ts, t)
-	if i == n || c.ts[i] > t {
-		i--
-	}
-	return c.cum[i] + c.cnt[i]*(t-c.ts[i])
+// approxEvaluator adapts the analytic BoundEvaluator to the Evaluator
+// interface for Options.Approximate: Makespan returns the bound
+// surrogate's Estimate, so the whole Alg. 1 machinery — growing-active-set
+// sweeps, refinement passes, the never-worse guard — runs unchanged with
+// zero simulations. The pruning tier stays sound against it because the
+// Estimate is clamped to ≥ Lower by construction.
+type approxEvaluator struct {
+	b *perfmodel.BoundEvaluator
 }
+
+func (e *approxEvaluator) SetActive(active map[dag.StageID]bool) error {
+	e.b.SetActive(active)
+	return nil
+}
+
+func (e *approxEvaluator) Makespan(delays map[dag.StageID]float64) (float64, error) {
+	return e.b.Bounds(delays).Estimate, nil
+}
+
+// Clone hands the clone its own bound-evaluator scratch; the immutable
+// inputs and the per-active-set concurrency cache stay shared.
+func (e *approxEvaluator) Clone() Evaluator { return &approxEvaluator{b: e.b.Clone()} }

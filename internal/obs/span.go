@@ -77,6 +77,16 @@ type DecisionAudit struct {
 	ParallelStages int `json:"parallel_stages,omitempty"`
 	Paths          int `json:"paths,omitempty"`
 
+	// Two-tier scan telemetry for "planner" plans: Bounded candidates
+	// received an analytic makespan lower bound, Pruned were eliminated
+	// by it before any simulation, and ExactEvals/ApproxEvals split how
+	// the surviving candidates were answered (full simulation vs the
+	// bound surrogate of approximate-planning mode).
+	Bounded     int `json:"bounded,omitempty"`
+	Pruned      int `json:"pruned,omitempty"`
+	ExactEvals  int `json:"exact_evals,omitempty"`
+	ApproxEvals int `json:"approx_evals,omitempty"`
+
 	// IncumbentTotal is the submit-when-ready baseline (Σ JCT over the
 	// committed jobs plus the newcomer at nil delays); ChosenTotal is the
 	// committed plan's value of the same objective.

@@ -1,0 +1,579 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"delaystage/internal/cluster"
+	"delaystage/internal/dag"
+	"delaystage/internal/workload"
+)
+
+// This file implements the analytic surrogate behind the two-tier candidate
+// scan (DESIGN.md, "Two-tier candidate evaluation"): deterministic makespan
+// bounds for a (DAG, profiles, cluster, delay vector) configuration that
+// cost O(V+E) instead of a simulation.
+//
+//   Lower  = max(critical path at solo rates + delays, Σ work / capacity)
+//   Upper  = layout where every stage runs at its structural worst-case
+//            share: solo time × conc × (1 + α·min(conc−1, 4)), conc = the
+//            number of stages that can overlap it per the (restricted) DAG
+//   Estimate = layout stretched by the *time-averaged* overlap of a first
+//            unstretched pass — the delay-sensitive score approximate mode
+//            minimizes; clamped into [Lower, Upper]
+//
+// Soundness against the fluid simulator (fault-free, no aggressive
+// shuffle): the waterfill never allocates beyond contended capacity
+// (contended ≤ capacity), every stage's phases are sequential per node and
+// start only after ready + delay, so no stage can finish earlier than the
+// solo critical path predicts, and no resource can drain its aggregate
+// work faster than its aggregate capacity. Upper holds because max-min
+// fairness guarantees each of f concurrent consumers at least a 1/f share
+// of contended capacity and at most conc stages can ever share. Against
+// the closed-form model evaluator only the critical-path term is provable
+// (its truncated stretch fixed point is not capacity-conserving), so that
+// tier sets IncludeWorkBound = false.
+
+// contentionSaturation mirrors the simulator's cap on the effective number
+// of interfering extra consumers (internal/sim/engine.go).
+const contentionSaturation = 4
+
+// defaultAlpha mirrors sim.Options.ContentionOverhead's default.
+const defaultAlpha = 0.22
+
+// Bounds is one configuration's analytic verdict.
+type Bounds struct {
+	// Lower is a certified lower bound on the exact makespan.
+	Lower float64
+	// Upper is a pessimistic upper bound (structural worst-case sharing).
+	Upper float64
+	// Estimate is the bound evaluator's best guess, in [Lower, Upper] —
+	// what approximate mode minimizes in place of a simulation.
+	Estimate float64
+}
+
+// BoundConfig tunes a BoundEvaluator for the exact evaluator it prunes.
+type BoundConfig struct {
+	// IncludeWorkBound folds the aggregate work/capacity term into Lower.
+	// Sound against the fluid simulator; the closed-form model evaluator's
+	// truncated fixed point does not conserve capacity, so pruning that
+	// tier must leave it off.
+	IncludeWorkBound bool
+	// Alpha is the contention-overhead factor of the pessimistic terms
+	// (zero means the simulator default, 0.22).
+	Alpha float64
+}
+
+// BoundEvaluator computes Bounds for one job on one cluster. Build it on
+// the cluster the exact evaluator actually runs against (the coarse view
+// for the sim tier, the raw cluster for the model tier) or the bounds are
+// bounds on the wrong quantity.
+//
+// Not safe for concurrent use; Clone for parallel scans (clones share the
+// immutable inputs and the concurrency cache, own all scratch).
+type BoundEvaluator struct {
+	cfg BoundConfig
+
+	ids      []dag.StageID // topo order
+	idx      map[dag.StageID]int
+	parents  [][]int
+	children [][]int
+	solo     []float64 // solo read+compute+write per stage
+	// Full-capacity busy seconds per stage and resource, for the
+	// work/capacity lower bound.
+	netW, diskW, execW []float64
+
+	activeIdx []bool
+	activeKey string
+	nActive   int
+	workLB    float64 // Σ active work / capacity (0 when excluded)
+
+	shared *boundShared
+
+	// Scratch, reused across calls.
+	up, up2, down  []float64
+	starts, ends   []float64
+	stretchScratch []float64
+	evs            []boundEvent
+}
+
+// boundShared is the state clones share: the per-active-set structural
+// worst-case stretch factors (a function of the DAG only, so computing
+// them once per active set is free determinism).
+type boundShared struct {
+	mu   sync.Mutex
+	conc map[string][]float64
+}
+
+// boundEvent is one ±1 interval-coverage change of the overlap sweep.
+type boundEvent struct {
+	t float64
+	d float64
+}
+
+// NewBoundEvaluator validates the inputs and precomputes the per-stage
+// solo phase times and work terms.
+func NewBoundEvaluator(c *cluster.Cluster, job *workload.Job, cfg BoundConfig) (*BoundEvaluator, error) {
+	m, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	if job == nil {
+		return nil, fmt.Errorf("perfmodel: nil job")
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := job.Graph.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = defaultAlpha
+	} else if cfg.Alpha < 0 {
+		cfg.Alpha = 0
+	}
+	n := len(topo)
+	b := &BoundEvaluator{
+		cfg:      cfg,
+		ids:      topo,
+		idx:      make(map[dag.StageID]int, n),
+		parents:  make([][]int, n),
+		children: make([][]int, n),
+		solo:     make([]float64, n),
+		netW:     make([]float64, n),
+		diskW:    make([]float64, n),
+		execW:    make([]float64, n),
+		shared:   &boundShared{conc: map[string][]float64{}},
+	}
+	for i, id := range topo {
+		b.idx[id] = i
+	}
+	var netCap, diskCap, execCap float64
+	for _, w := range c.Nodes {
+		netCap += w.NetBW
+		diskCap += w.DiskBW
+		execCap += float64(w.Executors)
+	}
+	for i, id := range topo {
+		p := job.Profiles[id]
+		r, cm, wr := m.PhaseBreakdown(p)
+		b.solo[i] = r + cm + wr
+		if netCap > 0 {
+			b.netW[i] = float64(p.ShuffleIn) / netCap
+		}
+		if diskCap > 0 {
+			b.diskW[i] = float64(p.ShuffleOut) / diskCap
+		}
+		if execCap > 0 && p.ProcRate > 0 {
+			b.execW[i] = float64(p.ShuffleIn) / p.ProcRate / execCap
+		}
+		for _, pid := range job.Graph.Parents(id) {
+			pi := b.idx[pid]
+			b.parents[i] = append(b.parents[i], pi)
+			b.children[pi] = append(b.children[pi], i)
+		}
+	}
+	b.activeIdx = make([]bool, n)
+	b.setAll()
+	return b, nil
+}
+
+// Clone returns a copy safe to use from another goroutine: immutable
+// inputs and the concurrency cache are shared, the active mask is copied
+// (SetActive on the parent must not retroactively move clones) and every
+// scratch buffer is private.
+func (b *BoundEvaluator) Clone() *BoundEvaluator {
+	c := *b
+	c.activeIdx = append([]bool(nil), b.activeIdx...)
+	c.up, c.up2, c.down = nil, nil, nil
+	c.starts, c.ends, c.stretchScratch = nil, nil, nil
+	c.evs = nil
+	return &c
+}
+
+func (b *BoundEvaluator) setAll() {
+	for i := range b.activeIdx {
+		b.activeIdx[i] = true
+	}
+	b.nActive = len(b.ids)
+	b.activeKey = "*"
+	b.recomputeWorkLB()
+}
+
+// SetActive restricts the bounds to the given stage set (nil = all),
+// mirroring how Alg. 1 restricts its evaluator while paths are scheduled
+// one by one: inactive stages vanish and edges to them are dropped.
+func (b *BoundEvaluator) SetActive(active map[dag.StageID]bool) {
+	if active == nil {
+		b.setAll()
+		return
+	}
+	key := make([]byte, (len(b.ids)+7)/8)
+	b.nActive = 0
+	for i, id := range b.ids {
+		on := active[id]
+		b.activeIdx[i] = on
+		if on {
+			key[i/8] |= 1 << (uint(i) % 8)
+			b.nActive++
+		}
+	}
+	b.activeKey = string(key)
+	b.recomputeWorkLB()
+}
+
+func (b *BoundEvaluator) recomputeWorkLB() {
+	b.workLB = 0
+	if !b.cfg.IncludeWorkBound {
+		return
+	}
+	var net, disk, exec float64
+	for i := range b.ids {
+		if !b.activeIdx[i] {
+			continue
+		}
+		net += b.netW[i]
+		disk += b.diskW[i]
+		exec += b.execW[i]
+	}
+	b.workLB = math.Max(net, math.Max(disk, exec))
+}
+
+// delayOf reads a stage's delay (nil map or missing entry = 0).
+func delayOf(delays map[dag.StageID]float64, id dag.StageID) float64 {
+	if delays == nil {
+		return 0
+	}
+	return delays[id]
+}
+
+// cpForward fills dst[i] with the solo-rate completion time of stage i
+// (its own delay and solo time included), skipping stage `skip` (-1 =
+// none) as if it were inactive and forcing stage `zeroDelay`'s delay to
+// zero (-1 = none). Returns the maximum over active stages.
+func (b *BoundEvaluator) cpForward(dst []float64, delays map[dag.StageID]float64, skip, zeroDelay int) float64 {
+	hi := 0.0
+	for i, id := range b.ids {
+		if !b.activeIdx[i] || i == skip {
+			dst[i] = 0
+			continue
+		}
+		ready := 0.0
+		for _, pi := range b.parents[i] {
+			if !b.activeIdx[pi] || pi == skip {
+				continue
+			}
+			if dst[pi] > ready {
+				ready = dst[pi]
+			}
+		}
+		d := delayOf(delays, id)
+		if i == zeroDelay {
+			d = 0
+		}
+		dst[i] = ready + d + b.solo[i]
+		if dst[i] > hi {
+			hi = dst[i]
+		}
+	}
+	return hi
+}
+
+func (b *BoundEvaluator) grow() {
+	if n := len(b.ids); len(b.up) < n {
+		b.up = make([]float64, n)
+		b.up2 = make([]float64, n)
+		b.down = make([]float64, n)
+		b.starts = make([]float64, n)
+		b.ends = make([]float64, n)
+		b.stretchScratch = make([]float64, n)
+	}
+}
+
+// Lower returns the certified lower bound alone — the cheap end of
+// Bounds, used where Upper/Estimate are not needed (committed-job
+// constants in the online planner).
+func (b *BoundEvaluator) Lower(delays map[dag.StageID]float64) float64 {
+	b.grow()
+	return math.Max(b.cpForward(b.up, delays, -1, -1), b.workLB)
+}
+
+// ScanLower prepares the O(1)-per-candidate lower bound for a candidate
+// scan of stage kid, where every candidate changes only kid's delay:
+//
+//	lower(x) = max(rest, through + x)
+//
+// through is the longest solo-rate path through kid *excluding* kid's own
+// delay (the caller adds the candidate x); rest covers every path that
+// avoids kid, plus the work/capacity term (both x-independent). Any entry
+// for kid in delays is ignored. ok is false when kid is unknown or
+// inactive — no pruning then.
+func (b *BoundEvaluator) ScanLower(kid dag.StageID, delays map[dag.StageID]float64) (through, rest float64, ok bool) {
+	ki, found := b.idx[kid]
+	if !found || !b.activeIdx[ki] {
+		return 0, 0, false
+	}
+	b.grow()
+	// Upstream: longest path into kid, kid's own delay forced to zero so
+	// up[ki] = readiness + solo (the caller's x slots in between).
+	b.cpForward(b.up, delays, -1, ki)
+	rest = math.Max(b.cpForward(b.up2, delays, ki, -1), b.workLB)
+	// Downstream: down[i] = delay_i + solo_i + longest active child tail.
+	for i := len(b.ids) - 1; i >= 0; i-- {
+		if !b.activeIdx[i] {
+			b.down[i] = 0
+			continue
+		}
+		tail := 0.0
+		for _, ci := range b.children[i] {
+			if !b.activeIdx[ci] {
+				continue
+			}
+			if b.down[ci] > tail {
+				tail = b.down[ci]
+			}
+		}
+		b.down[i] = delayOf(delays, b.ids[i]) + b.solo[i] + tail
+	}
+	tail := 0.0
+	for _, ci := range b.children[ki] {
+		if !b.activeIdx[ci] {
+			continue
+		}
+		if b.down[ci] > tail {
+			tail = b.down[ci]
+		}
+	}
+	return b.up[ki] + tail, rest, true
+}
+
+// concStretch returns (cached per active set) each stage's structural
+// worst-case slowdown: conc × (1 + α·min(conc−1, saturation)), where conc
+// counts the stages the restricted DAG allows to overlap it, itself
+// included. Ancestry is computed on the restricted graph — restriction
+// drops edges, so stages chained through an inactive middleman *can*
+// overlap and full-graph reachability would undercount.
+func (b *BoundEvaluator) concStretch() []float64 {
+	sh := b.shared
+	sh.mu.Lock()
+	if s, ok := sh.conc[b.activeKey]; ok {
+		sh.mu.Unlock()
+		return s
+	}
+	sh.mu.Unlock()
+
+	n := len(b.ids)
+	words := (n + 63) / 64
+	desc := make([]uint64, n*words)
+	anc := make([]uint64, n*words)
+	for i := n - 1; i >= 0; i-- {
+		if !b.activeIdx[i] {
+			continue
+		}
+		di := desc[i*words : (i+1)*words]
+		for _, ci := range b.children[i] {
+			if !b.activeIdx[ci] {
+				continue
+			}
+			di[ci/64] |= 1 << (uint(ci) % 64)
+			dc := desc[ci*words : (ci+1)*words]
+			for w := range di {
+				di[w] |= dc[w]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !b.activeIdx[i] {
+			continue
+		}
+		ai := anc[i*words : (i+1)*words]
+		for _, pi := range b.parents[i] {
+			if !b.activeIdx[pi] {
+				continue
+			}
+			ai[pi/64] |= 1 << (uint(pi) % 64)
+			ap := anc[pi*words : (pi+1)*words]
+			for w := range ai {
+				ai[w] |= ap[w]
+			}
+		}
+	}
+	st := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if !b.activeIdx[i] {
+			continue
+		}
+		related := 0
+		for w := 0; w < words; w++ {
+			related += popcount(desc[i*words+w]) + popcount(anc[i*words+w])
+		}
+		conc := float64(b.nActive - related) // includes i itself
+		if conc < 1 {
+			conc = 1
+		}
+		extra := conc - 1
+		if extra > contentionSaturation {
+			extra = contentionSaturation
+		}
+		st[i] = conc * (1 + b.cfg.Alpha*extra)
+	}
+	sh.mu.Lock()
+	sh.conc[b.activeKey] = st
+	sh.mu.Unlock()
+	return st
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// stretchedEnd lays the active stages out with per-stage duration
+// solo × stretch (stretch nil = 1) and fills starts/ends; returns the
+// maximum end.
+func (b *BoundEvaluator) stretchedEnd(delays map[dag.StageID]float64, stretch []float64) float64 {
+	hi := 0.0
+	for i, id := range b.ids {
+		if !b.activeIdx[i] {
+			b.starts[i], b.ends[i] = 0, 0
+			continue
+		}
+		ready := 0.0
+		for _, pi := range b.parents[i] {
+			if !b.activeIdx[pi] {
+				continue
+			}
+			if b.ends[pi] > ready {
+				ready = b.ends[pi]
+			}
+		}
+		s := ready + delayOf(delays, id)
+		dur := b.solo[i]
+		if stretch != nil {
+			dur *= stretch[i]
+		}
+		b.starts[i], b.ends[i] = s, s+dur
+		if s+dur > hi {
+			hi = s + dur
+		}
+	}
+	return hi
+}
+
+// overlapStretch derives the Estimate's per-stage slowdown from the
+// unstretched layout currently in starts/ends: the time-averaged number
+// of overlapping stages f̄ (self included) costs f̄ × (1 + α·min(f̄−1,
+// saturation)) — the equal-share reading of the simulator's waterfill
+// plus its contention overhead. Only structurally concurrent stages can
+// overlap a DAG layout, so f̄ never exceeds the Upper bound's conc.
+func (b *BoundEvaluator) overlapStretch() []float64 {
+	evs := b.evs[:0]
+	for i := range b.ids {
+		if !b.activeIdx[i] || b.ends[i] <= b.starts[i] {
+			continue
+		}
+		evs = append(evs, boundEvent{t: b.starts[i], d: 1}, boundEvent{t: b.ends[i], d: -1})
+	}
+	b.evs = evs
+	slices.SortFunc(evs, func(x, y boundEvent) int {
+		switch {
+		case x.t < y.t:
+			return -1
+		case x.t > y.t:
+			return 1
+		}
+		return 0
+	})
+	st := b.stretchScratch
+	for i := range b.ids {
+		st[i] = 1
+		if !b.activeIdx[i] {
+			continue
+		}
+		s, f := b.starts[i], b.ends[i]
+		if f <= s {
+			continue
+		}
+		// ∫ coverage over [s,f], linear walk of the sorted events. The
+		// scans this feeds are O(candidates × n log n) anyway; keeping the
+		// walk simple beats indexing for the job sizes in play.
+		integral := 0.0
+		cur := 0.0
+		prev := s
+		for _, e := range evs {
+			if e.t <= s {
+				cur += e.d
+				continue
+			}
+			t := e.t
+			if t > f {
+				t = f
+			}
+			integral += cur * (t - prev)
+			prev = t
+			if e.t >= f {
+				break
+			}
+			cur += e.d
+		}
+		if prev < f {
+			integral += cur * (f - prev)
+		}
+		overlap := integral - (f - s)
+		if overlap < 0 {
+			overlap = 0
+		}
+		fbar := 1 + overlap/(f-s)
+		extra := fbar - 1
+		if extra > contentionSaturation {
+			extra = contentionSaturation
+		}
+		st[i] = fbar * (1 + b.cfg.Alpha*extra)
+	}
+	return st
+}
+
+// Bounds evaluates one delay configuration. Stages outside the active set
+// contribute nothing; their delays are ignored.
+func (b *BoundEvaluator) Bounds(delays map[dag.StageID]float64) Bounds {
+	b.grow()
+	lower := math.Max(b.cpForward(b.up, delays, -1, -1), b.workLB)
+	upper := b.stretchedEnd(delays, b.concStretch())
+	if upper < lower {
+		upper = lower
+	}
+	// Estimate: unstretched pass to measure overlap, stretched pass to
+	// price it.
+	b.stretchedEnd(delays, nil)
+	est := b.stretchedEnd(delays, b.overlapStretch())
+	if est < lower {
+		est = lower
+	}
+	if est > upper {
+		est = upper
+	}
+	return Bounds{Lower: lower, Upper: upper, Estimate: est}
+}
+
+// EstimateEnds returns the Estimate layout's per-stage end times — the
+// analytic stand-in for simulated stage ends that approximate planning
+// feeds the plan-template drift check.
+func (b *BoundEvaluator) EstimateEnds(delays map[dag.StageID]float64) map[dag.StageID]float64 {
+	b.grow()
+	b.stretchedEnd(delays, nil)
+	b.stretchedEnd(delays, b.overlapStretch())
+	out := make(map[dag.StageID]float64, b.nActive)
+	for i, id := range b.ids {
+		if !b.activeIdx[i] {
+			continue
+		}
+		out[id] = b.ends[i]
+	}
+	return out
+}

@@ -32,6 +32,20 @@ type OnlineOptions struct {
 	MaxCandidates int
 	// FairByJob carries through to the evaluation and final simulation.
 	FairByJob bool
+	// DisableBoundPrune turns off the analytic candidate-pruning tier so
+	// every candidate is answered by a full multi-job simulation — the
+	// single-tier reference the invariance tests compare against. Plans
+	// are byte-identical either way: a pruned candidate's objective lower
+	// bound already met the running best, so its exact evaluation provably
+	// fails the improve-by-tolerance test.
+	DisableBoundPrune bool
+	// Approximate scores every candidate from the analytic bound
+	// surrogate instead of simulating the committed runs: the objective
+	// becomes Σ committed-job lower bounds + the newcomer's delay-aware
+	// makespan estimate. No simulation runs at all during planning —
+	// the massive-scale mode behind service ApproximatePlanning.
+	// IncumbentTotal/ChosenTotal become estimates, not simulated sums.
+	Approximate bool
 }
 
 // InvalidArrivalError reports an arrival time the planner cannot accept:
@@ -88,6 +102,12 @@ type PlanAudit struct {
 	// sweep's delays: no candidate beat the incumbent beyond tolerance,
 	// so the job was committed submit-when-ready.
 	FallbackNoWin bool
+	// Prune breaks the two-tier candidate scan down: Bounded candidates
+	// received an analytic objective lower bound, Pruned ones were
+	// eliminated by it before any simulation, and the rest were answered
+	// exactly (Exact) or by the bound surrogate (Approx, approximate
+	// mode). Evaluations == Exact + Approx.
+	Prune core.PruneStats
 }
 
 // OnlinePlanner plans continuously arriving jobs one at a time against
@@ -113,6 +133,13 @@ type OnlinePlanner struct {
 	// enforce non-decreasing submission order. It survives Reset so a new
 	// busy-period epoch cannot rewind time.
 	last float64
+	// lbSum is Σ analytic JCT lower bounds over the committed runs — the
+	// constant the pruning tier charges for the already-committed jobs
+	// regardless of how a newcomer's delays interleave with them (a job
+	// can never beat its own solo critical path or aggregate work, and
+	// contention only slows it). Maintained incrementally on Add/Commit,
+	// cleared by Reset.
+	lbSum float64
 }
 
 // NewOnlinePlanner validates the configuration and returns an empty
@@ -154,6 +181,7 @@ func (p *OnlinePlanner) LastAudit() PlanAudit { return p.audit }
 func (p *OnlinePlanner) Reset() {
 	p.committed = p.committed[:0]
 	p.scratch = p.scratch[:0]
+	p.lbSum = 0
 }
 
 // Commit appends an externally planned run — a plan-template cache hit or
@@ -165,8 +193,21 @@ func (p *OnlinePlanner) Commit(job *workload.Job, arrival float64, delays map[da
 	}
 	run := sim.JobRun{Job: job, Arrival: arrival, Delays: delays}
 	p.committed = append(p.committed, run)
+	p.commitLB(run)
 	p.last = arrival
 	return run, nil
+}
+
+// commitLB accumulates the newly committed run's analytic JCT lower bound
+// into lbSum. Validation already passed in admit, so construction cannot
+// fail; a zero contribution on the impossible path keeps lbSum sound (it
+// may only ever under-charge).
+func (p *OnlinePlanner) commitLB(run sim.JobRun) {
+	b, err := perfmodel.NewBoundEvaluator(p.coarse, run.Job, perfmodel.BoundConfig{IncludeWorkBound: true})
+	if err != nil {
+		return
+	}
+	p.lbSum += b.Lower(run.Delays)
 }
 
 // admit vets one (job, arrival) pair against the planner's invariants.
@@ -202,6 +243,20 @@ func (p *OnlinePlanner) evalTotal(candidate sim.JobRun) (float64, error) {
 	return total, nil
 }
 
+// score answers one candidate configuration's objective value and counts
+// the evaluation: a full multi-job simulation normally, or the analytic
+// surrogate (committed lower bounds + the newcomer's delay-aware
+// estimate) in approximate mode.
+func (p *OnlinePlanner) score(candidate sim.JobRun, bev *perfmodel.BoundEvaluator) (float64, error) {
+	p.audit.Evaluations++
+	if p.opt.Approximate {
+		p.audit.Prune.Approx++
+		return p.lbSum + bev.Bounds(candidate.Delays).Estimate, nil
+	}
+	p.audit.Prune.Exact++
+	return p.evalTotal(candidate)
+}
+
 // Add plans one job against the committed runs, commits it and returns
 // the planned run. The delay sweep minimizes the sum of completion times
 // over every committed job plus the newcomer.
@@ -220,8 +275,19 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 	p.audit = PlanAudit{ParallelStages: len(k)}
 	if len(k) == 0 {
 		p.committed = append(p.committed, run)
+		p.commitLB(run)
 		p.last = arrival
 		return run, nil
+	}
+	// The analytic tier: bounds the newcomer's share of the objective so
+	// hopeless candidates never reach a simulation (and, in approximate
+	// mode, scores candidates outright).
+	var bev *perfmodel.BoundEvaluator
+	if !p.opt.DisableBoundPrune || p.opt.Approximate {
+		bev, err = perfmodel.NewBoundEvaluator(p.coarse, job, perfmodel.BoundConfig{IncludeWorkBound: true})
+		if err != nil {
+			return sim.JobRun{}, err
+		}
 	}
 	paths := dag.ExecutionPaths(job.Graph, reach, weight)
 	switch p.opt.Order {
@@ -233,12 +299,11 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 
 	delays := map[dag.StageID]float64{}
 	run.Delays = delays
-	stockTotal, err := p.evalTotal(run)
+	stockTotal, err := p.score(run, bev)
 	if err != nil {
 		return sim.JobRun{}, err
 	}
 	p.audit.Paths = len(paths)
-	p.audit.Evaluations = 1 // the incumbent
 	best := stockTotal
 	soloSum := 0.0
 	for _, id := range k {
@@ -263,14 +328,32 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 					step = upper / float64(n-1)
 				}
 				bestDelay := delays[kid]
+				// One ScanLower prep per stage makes the per-candidate
+				// objective bound O(1): lbSum charges the committed jobs,
+				// max(rest, through+x) charges the newcomer. Unlike
+				// core.Compute's parallel scan, Add is strictly sequential,
+				// so pruning against the *running* best is byte-identity
+				// safe: a candidate with lb ≥ best could never pass the
+				// improve-by-tolerance test when evaluated in order.
+				through, rest, prunable := 0.0, 0.0, false
+				if bev != nil && n > 1 {
+					through, rest, prunable = bev.ScanLower(kid, delays)
+				}
 				for c := 0; c < n; c++ {
 					x := float64(c) * step
+					if prunable {
+						p.audit.Prune.Bounded++
+						lb := p.lbSum + math.Max(rest, through+x)
+						if lb-1e-9*(1+lb) >= best-1e-9 {
+							p.audit.Prune.Pruned++
+							continue
+						}
+					}
 					delays[kid] = x
-					tot, err := p.evalTotal(run)
+					tot, err := p.score(run, bev)
 					if err != nil {
 						return sim.JobRun{}, err
 					}
-					p.audit.Evaluations++
 					if tot < best-1e-9 {
 						best = tot
 						bestDelay = x
@@ -299,6 +382,7 @@ func (p *OnlinePlanner) Add(job *workload.Job, arrival float64) (sim.JobRun, err
 		p.audit.ChosenTotal = stockTotal
 	}
 	p.committed = append(p.committed, run)
+	p.commitLB(run)
 	p.last = arrival
 	return run, nil
 }

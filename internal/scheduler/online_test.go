@@ -329,3 +329,119 @@ func TestOnlinePlannerLastAudit(t *testing.T) {
 		t.Fatalf("trivial-DAG audit should be empty: %+v", a)
 	}
 }
+
+// onlineFixture builds a deterministic overlapping-arrival job stream.
+func onlineFixture(c *cluster.Cluster, n int, seed int64) ([]*workload.Job, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var jobs []*workload.Job
+	var arrivals []float64
+	at := 0.0
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, workload.RandomJob("inv", c, 5+rng.Intn(6), rng))
+		arrivals = append(arrivals, at)
+		at += 30 + rng.Float64()*60
+	}
+	return jobs, arrivals
+}
+
+// TestOnlinePruneByteIdentical: the analytic pruning tier must not change
+// a single planning decision — every committed run's delay vector is
+// byte-identical with the tier on and off — while actually eliminating
+// candidate simulations.
+func TestOnlinePruneByteIdentical(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	jobs, arrivals := onlineFixture(c, 6, 11)
+	plan := func(disable bool) ([]sim.JobRun, PlanAudit, error) {
+		p, err := NewOnlinePlanner(OnlineOptions{Cluster: c, FairByJob: true,
+			MaxCandidates: 10, DisableBoundPrune: disable})
+		if err != nil {
+			return nil, PlanAudit{}, err
+		}
+		var agg PlanAudit
+		for i := range jobs {
+			if _, err := p.Add(jobs[i], arrivals[i]); err != nil {
+				return nil, PlanAudit{}, err
+			}
+			a := p.LastAudit()
+			agg.Evaluations += a.Evaluations
+			agg.Prune.Add(a.Prune)
+		}
+		return p.Committed(), agg, nil
+	}
+	pruned, pa, err := plan(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ra, err := plan(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if !reflect.DeepEqual(pruned[i].Delays, ref[i].Delays) {
+			t.Fatalf("job %d: pruned plan %v != reference %v", i, pruned[i].Delays, ref[i].Delays)
+		}
+	}
+	if pa.Prune.Pruned == 0 {
+		t.Fatal("pruning tier never fired on the overlapping stream")
+	}
+	if ra.Prune.Bounded != 0 || ra.Prune.Pruned != 0 {
+		t.Fatalf("single-tier run reported bound activity: %+v", ra.Prune)
+	}
+	if pa.Evaluations >= ra.Evaluations {
+		t.Fatalf("pruning saved no evaluations: %d vs %d", pa.Evaluations, ra.Evaluations)
+	}
+	t.Logf("evaluations %d → %d (pruned %d of %d bounded)",
+		ra.Evaluations, pa.Evaluations, pa.Prune.Pruned, pa.Prune.Bounded)
+}
+
+// TestOnlineApproximatePlans: approximate mode must plan the stream
+// without a single exact evaluation, and the plans must still respect the
+// never-worse contract under real simulation.
+func TestOnlineApproximatePlans(t *testing.T) {
+	c := cluster.NewM4LargeCluster(10)
+	jobs, arrivals := onlineFixture(c, 5, 7)
+	p, err := NewOnlinePlanner(OnlineOptions{Cluster: c, FairByJob: true,
+		MaxCandidates: 10, Approximate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := 0
+	for i := range jobs {
+		if _, err := p.Add(jobs[i], arrivals[i]); err != nil {
+			t.Fatal(err)
+		}
+		a := p.LastAudit()
+		if a.Prune.Exact != 0 {
+			t.Fatalf("job %d: approximate mode ran %d exact evaluations", i, a.Prune.Exact)
+		}
+		approx += a.Prune.Approx
+	}
+	if approx == 0 {
+		t.Fatal("approximate mode never scored a candidate")
+	}
+	runs := p.Committed()
+	naive := make([]sim.JobRun, len(runs))
+	for i := range runs {
+		naive[i] = sim.JobRun{Job: runs[i].Job, Arrival: runs[i].Arrival}
+	}
+	opt := sim.Options{Cluster: c, TrackNode: -1, FairByJob: true}
+	got, err := sim.Run(opt, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.Run(opt, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gj, rj float64
+	for i := range runs {
+		gj += got.JCT(i)
+		rj += ref.JCT(i)
+	}
+	// The surrogate has no never-worse simulation guard, so allow a small
+	// modeling margin rather than demanding strict improvement.
+	if gj > rj*1.10 {
+		t.Fatalf("approximate plans regressed total JCT >10%%: %.1f vs naive %.1f", gj, rj)
+	}
+	t.Logf("total JCT: naive %.1f → approx-planned %.1f (%d surrogate evals)", rj, gj, approx)
+}

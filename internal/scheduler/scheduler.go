@@ -94,6 +94,10 @@ type DelayStage struct {
 	// forking in the sim evaluator (see core.Options.DisableEvalCache);
 	// plans are identical either way.
 	DisableEvalCache bool
+	// Approximate plans from the analytic bound surrogate only — no
+	// simulation or model evaluation per candidate (see
+	// core.Options.Approximate). Overrides UseModelEvaluator.
+	Approximate bool
 }
 
 // Name implements Strategy.
@@ -115,6 +119,7 @@ func (d DelayStage) Plan(c *cluster.Cluster, job *workload.Job) (Plan, error) {
 		MaxCandidates:     d.MaxCandidates,
 		Parallelism:       d.Parallelism,
 		DisableEvalCache:  d.DisableEvalCache,
+		Approximate:       d.Approximate,
 	}, job)
 	if err != nil {
 		return Plan{}, err

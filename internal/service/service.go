@@ -30,6 +30,7 @@ import (
 	"delaystage/internal/core"
 	"delaystage/internal/dag"
 	"delaystage/internal/obs"
+	"delaystage/internal/perfmodel"
 	"delaystage/internal/scheduler"
 	"delaystage/internal/sim"
 	"delaystage/internal/workload"
@@ -49,6 +50,13 @@ type Options struct {
 	SlotSeconds   float64
 	MaxCandidates int
 	FairByJob     bool
+	// ApproximatePlanning answers every planning decision from the
+	// analytic bound surrogate instead of simulation — candidate scoring
+	// (scheduler.OnlineOptions.Approximate), the template drift test, and
+	// the stored drift reference all use the surrogate's layout, so the
+	// control plane never simulates on the hot path. Plans are
+	// approximate; the data plane still simulates reality.
+	ApproximatePlanning bool
 	// DriftTolerance is the template-validity threshold: a cache hit is
 	// reused only when a solo simulation under the cached delays keeps
 	// every stage's end within this relative deviation of the stored
@@ -219,6 +227,7 @@ type Service struct {
 	mSubmitted, mAdmitted, mRejected     *obs.Counter
 	mCacheHit, mCacheMiss, mCacheInvalid *obs.Counter
 	mRevised, mEpochs                    *obs.Counter
+	mPruned, mExactEvals                 *obs.Counter
 	mPlanSec, mJCT                       *obs.Histogram
 	mE2E, mQueueWait                     *obs.Histogram
 	gLive, gSimClock, gCacheSize         *obs.Gauge
@@ -235,6 +244,7 @@ func New(opt Options) (*Service, error) {
 		SlotSeconds:   opt.SlotSeconds,
 		MaxCandidates: opt.MaxCandidates,
 		FairByJob:     opt.FairByJob,
+		Approximate:   opt.ApproximatePlanning,
 	})
 	if err != nil {
 		return nil, err
@@ -288,6 +298,10 @@ func New(opt Options) (*Service, error) {
 	s.mCacheMiss = reg.Counter("schedd_plan_cache_misses_total", "", "Plan-template cache misses (cold Alg. 1 sweep).")
 	s.mCacheInvalid = reg.Counter("schedd_plan_cache_invalid_total", "", "Cache hits discarded by the drift test.")
 	s.mRevised = reg.Counter("schedd_plan_revised_total", "", "Plans revised to submit-when-ready by queue depth.")
+	s.mPruned = reg.Counter("schedd_plan_pruned_total", "",
+		"Delay candidates the analytic bound tier eliminated before any simulation.")
+	s.mExactEvals = reg.Counter("schedd_plan_exact_evals_total", "",
+		"Delay candidates answered by an exact multi-job simulation.")
 	s.mEpochs = reg.Counter("schedd_epochs_total", "", "Busy-period epochs completed (world drained).")
 	s.mPlanSec = reg.Histogram("schedd_planning_seconds", "",
 		"Wall-clock latency of one Alg. 1 planning sweep.", obs.ExpBuckets(1e-4, 2, 16))
@@ -528,7 +542,17 @@ func (s *Service) Submit(req SubmitRequest) (JobStatus, error) {
 	rec.epochIdx = len(s.epochRecs)
 	s.epochRecs = append(s.epochRecs, rec)
 	s.epochSpans = append(s.epochSpans, newJobSpanData())
-	s.timelineAdd(arrival, "planned", rec.id, rec.planSource)
+	planDetail := rec.planSource
+	if rec.audit != nil && rec.audit.Source == "planner" {
+		// Surface the two-tier scan's outcome in the milestone feed so an
+		// operator can see pruning effectiveness without pulling traces.
+		planDetail = fmt.Sprintf("%s pruned=%d exact=%d", rec.planSource,
+			rec.audit.Pruned, rec.audit.ExactEvals)
+		if rec.audit.ApproxEvals > 0 {
+			planDetail += fmt.Sprintf(" approx=%d", rec.audit.ApproxEvals)
+		}
+	}
+	s.timelineAdd(arrival, "planned", rec.id, planDetail)
 	s.logger.Info("job planned", "trace_id", rec.id, "tenant", rec.tenant,
 		"arrival", arrival, "source", rec.planSource, "delays", len(run.Delays),
 		"queue_depth", depth)
@@ -598,6 +622,12 @@ func (s *Service) plan(rec *jobRecord, job *workload.Job, arrival float64, depth
 	audit.Evaluations = pa.Evaluations
 	audit.ParallelStages = pa.ParallelStages
 	audit.Paths = pa.Paths
+	audit.Bounded = pa.Prune.Bounded
+	audit.Pruned = pa.Prune.Pruned
+	audit.ExactEvals = pa.Prune.Exact
+	audit.ApproxEvals = pa.Prune.Approx
+	s.mPruned.Add(float64(pa.Prune.Pruned))
+	s.mExactEvals.Add(float64(pa.Prune.Exact))
 	audit.IncumbentTotal = pa.IncumbentTotal
 	audit.ChosenTotal = pa.ChosenTotal
 	if pa.FallbackNoWin {
@@ -628,13 +658,38 @@ func auditDelays(delays map[dag.StageID]float64) map[string]float64 {
 	return out
 }
 
-// driftValid replays the guarded watchdog's drift test for a cache hit:
-// one fault-free solo simulation under the instantiated delays, each
-// stage's end compared against the template's stored prediction.
-func (s *Service) driftValid(job *workload.Job, t *template, delays map[dag.StageID]float64) bool {
+// planEnds predicts every stage's solo completion time under the delays
+// on the coarse planning cluster: a fault-free simulation normally, or
+// the analytic surrogate's stretched layout under ApproximatePlanning
+// (the drift test must not reintroduce simulations when planning is
+// bound-only). Both sides of a drift comparison always come from the same
+// predictor, so the mode switch cannot invalidate stored templates.
+func (s *Service) planEnds(job *workload.Job, delays map[dag.StageID]float64) (map[dag.StageID]float64, error) {
+	if s.opt.ApproximatePlanning {
+		b, err := perfmodel.NewBoundEvaluator(s.coarse, job, perfmodel.BoundConfig{IncludeWorkBound: true})
+		if err != nil {
+			return nil, err
+		}
+		return b.EstimateEnds(delays), nil
+	}
 	res, err := sim.Run(sim.Options{Cluster: s.coarse, TrackNode: -1},
 		[]sim.JobRun{{Job: job, Delays: delays}})
-	if err != nil || len(res.Timelines) != len(t.predEnd) {
+	if err != nil {
+		return nil, err
+	}
+	ends := make(map[dag.StageID]float64, len(res.Timelines))
+	for _, tl := range res.Timelines {
+		ends[tl.Stage] = tl.End
+	}
+	return ends, nil
+}
+
+// driftValid replays the guarded watchdog's drift test for a cache hit:
+// each stage's predicted end under the instantiated delays compared
+// against the template's stored prediction.
+func (s *Service) driftValid(job *workload.Job, t *template, delays map[dag.StageID]float64) bool {
+	ends, err := s.planEnds(job, delays)
+	if err != nil || len(ends) != len(t.predEnd) {
 		return false
 	}
 	ids := rankedIDs(job)
@@ -642,12 +697,12 @@ func (s *Service) driftValid(job *workload.Job, t *template, delays map[dag.Stag
 	for i, id := range ids {
 		rank[id] = i
 	}
-	for _, tl := range res.Timelines {
-		pred, ok := t.predEnd[rank[tl.Stage]]
+	for id, end := range ends {
+		pred, ok := t.predEnd[rank[id]]
 		if !ok {
 			return false
 		}
-		if math.Abs(tl.End-pred)/math.Max(pred, 1e-9) > s.opt.DriftTolerance {
+		if math.Abs(end-pred)/math.Max(pred, 1e-9) > s.opt.DriftTolerance {
 			return false
 		}
 	}
@@ -655,10 +710,9 @@ func (s *Service) driftValid(job *workload.Job, t *template, delays map[dag.Stag
 }
 
 // storeTemplate records a solo-context plan and its drift reference (the
-// per-stage end times of a fault-free solo run at arrival 0).
+// predicted per-stage end times of a fault-free solo run at arrival 0).
 func (s *Service) storeTemplate(fp uint64, job *workload.Job, run sim.JobRun) {
-	res, err := sim.Run(sim.Options{Cluster: s.coarse, TrackNode: -1},
-		[]sim.JobRun{{Job: job, Delays: run.Delays}})
+	ends, err := s.planEnds(job, run.Delays)
 	if err != nil {
 		return
 	}
@@ -667,9 +721,9 @@ func (s *Service) storeTemplate(fp uint64, job *workload.Job, run sim.JobRun) {
 	for i, id := range ids {
 		rank[id] = i
 	}
-	pred := make(map[int]float64, len(res.Timelines))
-	for _, tl := range res.Timelines {
-		pred[rank[tl.Stage]] = tl.End
+	pred := make(map[int]float64, len(ends))
+	for id, end := range ends {
+		pred[rank[id]] = end
 	}
 	delays := make(map[int]float64, len(run.Delays))
 	for id, d := range run.Delays {

@@ -398,3 +398,112 @@ func TestFingerprintInvariance(t *testing.T) {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// TestPlanAuditPruneFields: a cold planner decision must carry the
+// two-tier scan counters in its trace audit, bump the prune/exact-eval
+// counters, and surface the outcome in the planned timeline milestone.
+func TestPlanAuditPruneFields(t *testing.T) {
+	s := newTestService(t, Options{})
+	c := cluster.NewM4LargeCluster(10)
+	st, err := s.Submit(SubmitRequest{Job: workload.ALS(c, 0.3), Arrival: ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := s.Trace(st.ID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	var found bool
+	for _, sp := range tr.Spans {
+		if sp.Audit == nil {
+			continue
+		}
+		found = true
+		a := sp.Audit
+		if a.Source != "planner" {
+			t.Fatalf("source = %q", a.Source)
+		}
+		if a.ExactEvals != a.Evaluations || a.ExactEvals == 0 {
+			t.Fatalf("exact_evals %d must equal evaluations %d", a.ExactEvals, a.Evaluations)
+		}
+		if a.Bounded == 0 || a.Pruned == 0 {
+			t.Fatalf("bound tier idle on a cold sweep: %+v", a)
+		}
+		if a.ApproxEvals != 0 {
+			t.Fatalf("approx_evals %d in exact mode", a.ApproxEvals)
+		}
+	}
+	if !found {
+		t.Fatal("no plan audit in trace")
+	}
+	var buf bytes.Buffer
+	if err := s.Registry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"schedd_plan_pruned_total", "schedd_plan_exact_evals_total"} {
+		val := ""
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				val = strings.TrimPrefix(line, name+" ")
+			}
+		}
+		if val == "" || val == "0" {
+			t.Fatalf("counter %s not bumped (got %q)\n%s", name, val, buf.String())
+		}
+	}
+	var planned bool
+	for _, ev := range s.Timeline().Events {
+		if ev.Kind == "planned" {
+			planned = true
+			if !strings.Contains(ev.Detail, "pruned=") || !strings.Contains(ev.Detail, "exact=") {
+				t.Fatalf("planned milestone lacks prune counts: %q", ev.Detail)
+			}
+		}
+	}
+	if !planned {
+		t.Fatal("no planned milestone")
+	}
+}
+
+// TestApproximatePlanningService: with ApproximatePlanning on, planning
+// decisions are answered entirely by the bound surrogate (no exact
+// evaluations anywhere, audit says so) and the template cache still
+// round-trips byte-identical plans.
+func TestApproximatePlanningService(t *testing.T) {
+	s := newTestService(t, Options{ApproximatePlanning: true})
+	c := cluster.NewM4LargeCluster(10)
+	job := workload.ALS(c, 0.3)
+	st, err := s.Submit(SubmitRequest{Job: job, Arrival: ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := s.Trace(st.ID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	for _, sp := range tr.Spans {
+		if sp.Audit == nil {
+			continue
+		}
+		if sp.Audit.ExactEvals != 0 {
+			t.Fatalf("approximate mode ran %d exact evaluations", sp.Audit.ExactEvals)
+		}
+		if sp.Audit.ApproxEvals == 0 {
+			t.Fatal("approximate mode scored no candidates")
+		}
+	}
+	// A same-fingerprint resubmission must hit the surrogate-backed drift
+	// test and reuse the cached plan.
+	st2, err := s.Submit(SubmitRequest{Job: workload.ALS(c, 0.3), Arrival: ptr(5000.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := s.Plan(st.ID)
+	p2, ok := s.Plan(st2.ID)
+	if !ok || !p2.CacheHit {
+		t.Fatalf("expected a template-cache hit, got %+v", p2)
+	}
+	if !reflect.DeepEqual(p1.Delays, p2.Delays) {
+		t.Fatalf("cached plan drifted: %v vs %v", p1.Delays, p2.Delays)
+	}
+}
